@@ -1,0 +1,64 @@
+//! Criterion benches for the mapping engine: SFC vs greedy task mapping
+//! and the churn scheduler that drives Figs. 3-5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use dnn::{build_model, Dataset, ModelKind, SegmentGraph};
+use mapper::{
+    map_task_greedy, map_task_sfc, run_churn, CapacityLedger, GreedyConfig, Strategy, TaskId,
+};
+use std::hint::black_box;
+use topology::{floret, mesh2d};
+
+fn task() -> SegmentGraph {
+    let g = build_model(ModelKind::ResNet18, Dataset::ImageNet).unwrap();
+    SegmentGraph::from_layer_graph(&g)
+}
+
+fn single_task(c: &mut Criterion) {
+    let sg = task();
+    let (_, layout) = floret(10, 10, 6).unwrap();
+    let order = layout.global_order();
+    let mesh = mesh2d(10, 10).unwrap();
+    let apsp = mesh.all_pairs_hops();
+
+    let mut g = c.benchmark_group("map-resnet18");
+    g.bench_function("sfc", |b| {
+        b.iter(|| {
+            let mut led = CapacityLedger::new(100, 2_000_000);
+            map_task_sfc(&mut led, black_box(&order), TaskId(0), &sg).unwrap()
+        })
+    });
+    g.bench_function("greedy-mesh", |b| {
+        b.iter(|| {
+            let mut led = CapacityLedger::new(100, 2_000_000);
+            map_task_greedy(&mut led, &mesh, &apsp, TaskId(0), &sg, &GreedyConfig::soft()).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn churn(c: &mut Criterion) {
+    let tasks = vec![task(); 20];
+    let (_, layout) = floret(10, 10, 6).unwrap();
+    c.bench_function("churn-20-resnet18-sfc", |b| {
+        b.iter(|| {
+            run_churn(
+                black_box(&tasks),
+                100,
+                1_000_000,
+                &Strategy::sfc(&layout),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+        .sample_size(20);
+    targets = single_task, churn
+);
+criterion_main!(benches);

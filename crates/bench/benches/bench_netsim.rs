@@ -1,0 +1,44 @@
+//! Criterion benches for the network simulator: analytical model vs
+//! packet-level DES on a loaded 100-chiplet mesh.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use netsim::{analyze, simulate, Flow, SimConfig};
+use std::hint::black_box;
+use topology::{mesh2d, HwParams, NodeId};
+
+fn traffic(n: usize) -> Vec<Flow> {
+    (0..n)
+        .map(|i| {
+            Flow::new(
+                NodeId((i * 7 % 100) as u32),
+                NodeId((i * 13 + 5) as u32 % 100),
+                2048 + (i as u64 * 97) % 4096,
+            )
+        })
+        .collect()
+}
+
+fn models(c: &mut Criterion) {
+    let topo = mesh2d(10, 10).unwrap();
+    let hw = HwParams::default();
+    let flows = traffic(200);
+    let mut g = c.benchmark_group("netsim-200-flows");
+    g.bench_function("analytical", |b| {
+        b.iter(|| analyze(black_box(&topo), &hw, &flows))
+    });
+    g.bench_function("des", |b| {
+        b.iter(|| simulate(black_box(&topo), &hw, &flows, &SimConfig::default()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+        .sample_size(20);
+    targets = models
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benches for the end-to-end platform kernels: one Fig. 3/5
+//! workload execution and one Fig. 6 placement evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use dnn::{build_model, Dataset, ModelKind, SegmentGraph};
+use pim_core::{NoiArch, Platform25D, Platform3D, SystemConfig};
+use std::hint::black_box;
+
+fn workload_run(c: &mut Criterion) {
+    let cfg = SystemConfig::datacenter_25d();
+    let wl = dnn::table2_workload("WL1").unwrap();
+    let platform = Platform25D::new(NoiArch::Floret { lambda: 6 }, &cfg).unwrap();
+    let mut g = c.benchmark_group("platform25");
+    g.bench_function("wl1-floret-full-run", |b| {
+        b.iter(|| platform.run_workload(black_box(&wl)))
+    });
+    g.finish();
+}
+
+fn placement_eval(c: &mut Criterion) {
+    let cfg = SystemConfig::stacked_3d();
+    let platform = Platform3D::new(&cfg).unwrap();
+    let net = build_model(ModelKind::ResNet34, Dataset::Cifar10).unwrap();
+    let sg = SegmentGraph::from_layer_graph(&net);
+    let order = platform.sfc_order();
+    c.bench_function("platform3d-evaluate-resnet34", |b| {
+        b.iter(|| platform.evaluate(black_box(&sg), &order).unwrap())
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_secs(1))
+        .sample_size(10);
+    targets = workload_run, placement_eval
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benches for the 3D thermal solver (the Fig. 6/7 inner loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use std::hint::black_box;
+use thermal::{solve, PowerMap, ThermalConfig};
+
+fn solver(c: &mut Criterion) {
+    let mut power = PowerMap::new(5, 5, 4).unwrap();
+    for x in 0..5 {
+        for y in 0..5 {
+            for z in 0..4 {
+                power
+                    .set(x, y, z, 0.2 + 0.1 * ((x + y + z) as f64))
+                    .unwrap();
+            }
+        }
+    }
+    c.bench_function("thermal-solve-5x5x4", |b| {
+        b.iter(|| solve(black_box(&power), &ThermalConfig::m3d()))
+    });
+    c.bench_function("thermal-solve-10x10x4", |b| {
+        let mut big = PowerMap::new(10, 10, 4).unwrap();
+        for x in 0..10 {
+            for y in 0..10 {
+                big.set(x, y, 3, 0.5).unwrap();
+            }
+        }
+        b.iter(|| solve(black_box(&big), &ThermalConfig::m3d()))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+        .sample_size(20);
+    targets = solver
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benches for the topology generators and graph algorithms —
+//! the structural substrate behind Fig. 2 and the cost analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use std::hint::black_box;
+use topology::{floret, kite, mesh2d, swap, HwParams, SwapConfig};
+
+fn generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generators-100-chiplets");
+    g.bench_function("mesh2d", |b| b.iter(|| mesh2d(black_box(10), 10).unwrap()));
+    g.bench_function("kite", |b| b.iter(|| kite(black_box(10), 10).unwrap()));
+    g.bench_function("swap", |b| {
+        b.iter(|| swap(black_box(10), 10, &SwapConfig::default()).unwrap())
+    });
+    g.bench_function("floret-l6", |b| b.iter(|| floret(black_box(10), 10, 6).unwrap()));
+    g.finish();
+}
+
+fn analysis(c: &mut Criterion) {
+    let topo = mesh2d(10, 10).unwrap();
+    let hw = HwParams::default();
+    let mut g = c.benchmark_group("graph-analysis");
+    g.bench_function("apsp-100", |b| b.iter(|| black_box(&topo).all_pairs_hops()));
+    g.bench_function("noi-area", |b| b.iter(|| hw.noi_area_mm2(black_box(&topo))));
+    g.bench_function("summarize", |b| {
+        b.iter(|| topology::summarize(black_box(&topo), &hw))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+        .sample_size(20);
+    targets = generators, analysis
+);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Dumps every experiment result as JSON to stdout (for external
+//! plotting). Runs the fast experiments in full and the 3D optimization
+//! with the default budget; expect a couple of minutes in release mode.
+
+use pim_core::{experiments, SystemConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Dump {
+    table1: Vec<experiments::Table1Row>,
+    table2: Vec<experiments::Table2Row>,
+    fig2: Vec<topology::TopologySummary>,
+    fig345: Vec<pim_core::WorkloadReport>,
+    cost: Vec<experiments::CostRow>,
+    fig6: Vec<experiments::Fig6Row>,
+    fig7: experiments::Fig7Maps,
+    transformer: Vec<(String, Vec<dnn::StorageRow>)>,
+    activations: Vec<experiments::ActivationRow>,
+}
+
+fn main() {
+    let cfg25 = SystemConfig::datacenter_25d();
+    let cfg3d = SystemConfig::stacked_3d();
+    let sa = experiments::joint_sa_config();
+    let dump = Dump {
+        table1: experiments::table1_rows(),
+        table2: experiments::table2_rows(),
+        fig2: experiments::fig2_summaries(&cfg25),
+        fig345: experiments::fig345_sweep(&cfg25),
+        cost: experiments::cost_rows(&cfg25),
+        fig6: experiments::fig6_rows(&cfg3d, &sa),
+        fig7: experiments::fig7_maps(&cfg3d, &sa),
+        transformer: experiments::transformer_rows(),
+        activations: experiments::activation_rows(),
+    };
+    println!("{}", serde_json::to_string_pretty(&dump).expect("serializable"));
+}

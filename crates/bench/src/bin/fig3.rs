@@ -1,0 +1,26 @@
+//! Regenerates Fig. 3: NoI latency for the Table II mixes on the four
+//! architectures, normalized to Floret.
+
+use pim_bench::normalize_to_floret;
+use pim_core::{experiments, NoiArch, SystemConfig};
+
+fn main() {
+    let cfg = SystemConfig::datacenter_25d();
+    pim_bench::section("Fig. 3: NoI latency (DES on co-resident traffic), normalized to Floret");
+    println!("{:<5} {:<8} {:>14} {:>8} {:>10}", "mix", "arch", "latency(cyc)", "norm", "hops");
+    for wl in ["WL1", "WL2", "WL3", "WL4", "WL5"] {
+        let rows: Vec<_> = NoiArch::all()
+            .into_iter()
+            .map(|arch| experiments::run_arch_workload(&cfg, arch, wl))
+            .collect();
+        let norm = normalize_to_floret(&rows, |r| r.sim_latency_cycles as f64);
+        for (r, (_, v, n)) in rows.iter().zip(norm) {
+            println!(
+                "{:<5} {:<8} {:>14.0} {:>8} {:>10.2}",
+                wl, r.arch, v, pim_bench::ratio(n), r.mean_weighted_hops
+            );
+        }
+    }
+    println!("\nPaper: Kite/SIAM up to 2.24x worse than Floret; we reproduce the");
+    println!("ordering with milder ratios (see EXPERIMENTS.md).");
+}

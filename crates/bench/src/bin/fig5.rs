@@ -1,0 +1,29 @@
+//! Regenerates Fig. 5: NoI energy for the Table II mixes, normalized to
+//! Floret (paper: 1.65x vs SIAM, 2.8x vs Kite on average).
+
+use pim_bench::normalize_to_floret;
+use pim_core::{experiments, NoiArch, SystemConfig};
+
+fn main() {
+    let cfg = SystemConfig::datacenter_25d();
+    pim_bench::section("Fig. 5: NoI energy (dynamic + static), normalized to Floret");
+    println!("{:<5} {:<8} {:>12} {:>8}", "mix", "arch", "energy(pJ)", "norm");
+    let mut sums: std::collections::BTreeMap<String, (f64, u32)> = Default::default();
+    for wl in ["WL1", "WL2", "WL3", "WL4", "WL5"] {
+        let rows: Vec<_> = NoiArch::all()
+            .into_iter()
+            .map(|arch| experiments::run_arch_workload(&cfg, arch, wl))
+            .collect();
+        let norm = normalize_to_floret(&rows, |r| r.noi_energy_pj);
+        for (arch, v, n) in norm {
+            println!("{:<5} {:<8} {:>12.3e} {:>8}", wl, arch, v, pim_bench::ratio(n));
+            let e = sums.entry(arch).or_insert((0.0, 0));
+            e.0 += n;
+            e.1 += 1;
+        }
+    }
+    pim_bench::section("average normalized energy (paper: SIAM 1.65x, Kite 2.8x)");
+    for (arch, (sum, count)) in sums {
+        println!("{:<8} {}", arch, pim_bench::ratio(sum / count as f64));
+    }
+}

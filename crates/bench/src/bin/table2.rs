@@ -1,0 +1,13 @@
+//! Regenerates Table II: the five concurrent-DNN workload mixes and their
+//! total parameter counts.
+
+fn main() {
+    pim_bench::section("Table II: concurrent DNN task mixes (100-chiplet system)");
+    println!("{:<5} {:>6} {:>10} {:>13}", "mix", "tasks", "paper (B)", "computed (B)");
+    for r in pim_core::experiments::table2_rows() {
+        println!(
+            "{:<5} {:>6} {:>10.1} {:>13.2}",
+            r.name, r.tasks, r.paper_total_b, r.computed_total_b
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! System-level configuration shared by the 2.5D and 3D platforms.
+
+use pim::PimConfig;
+use serde::{Deserialize, Serialize};
+use thermal::ThermalConfig;
+use topology::HwParams;
+
+/// Full configuration of a PIM-enabled manycore system.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Chiplet/PE grid width.
+    pub width: u16,
+    /// Chiplet/PE grid height.
+    pub height: u16,
+    /// Tiers (1 for 2.5D interposer systems).
+    pub tiers: u16,
+    /// Interconnect hardware model.
+    pub hw: HwParams,
+    /// PIM compute model (crossbars per node set the per-chiplet weight
+    /// capacity).
+    pub pim: PimConfig,
+    /// Thermal network (3D systems).
+    pub thermal: ThermalConfig,
+    /// Bytes per activation element on the NoI (8-bit inference).
+    pub activation_bytes: u64,
+    /// Traffic sampling divisor for the discrete-event simulator: flows
+    /// are scaled by `1/sim_sampling` before simulation. Relative
+    /// architecture comparisons are unaffected; energies are reported
+    /// un-sampled through the analytical model.
+    pub sim_sampling: u64,
+    /// Concurrent inference streams (batch) driving the 3D power model
+    /// and the per-task NoI traffic volume.
+    pub batch: u32,
+    /// Simulate every N-th resident-set snapshot of the churn schedule
+    /// (the last snapshot is always simulated).
+    pub snapshot_every: u32,
+    /// Dynamic thermal design power of the 3D stack, W: streaming
+    /// inference is throttled so the aggregate dynamic PIM power hits
+    /// this budget (0 disables the normalization). Keeps every Fig. 6
+    /// workload in the same thermal envelope so that placement quality —
+    /// not model size — drives the temperature differences.
+    pub dynamic_power_budget_w: f64,
+}
+
+impl SystemConfig {
+    /// The 100-chiplet 2.5D datacenter configuration of Section II:
+    /// 10x10 chiplets, ~2.1M 8-bit weights per chiplet (512 crossbars of
+    /// 128x128 2-bit cells).
+    pub fn datacenter_25d() -> Self {
+        SystemConfig {
+            width: 10,
+            height: 10,
+            tiers: 1,
+            hw: HwParams::default(),
+            pim: PimConfig {
+                crossbars_per_node: 512,
+                ..PimConfig::default()
+            },
+            thermal: ThermalConfig::m3d(),
+            activation_bytes: 1,
+            sim_sampling: 64,
+            batch: 8,
+            snapshot_every: 4,
+            dynamic_power_budget_w: 0.0,
+        }
+    }
+
+    /// The 100-PE 3D configuration of Section III: 5x5x4 M3D stack,
+    /// ~0.5M weights per PE (128 crossbars).
+    pub fn stacked_3d() -> Self {
+        SystemConfig {
+            width: 5,
+            height: 5,
+            tiers: 4,
+            hw: HwParams::default(),
+            pim: PimConfig {
+                crossbars_per_node: 128,
+                ..PimConfig::default()
+            },
+            thermal: ThermalConfig::m3d(),
+            activation_bytes: 1,
+            sim_sampling: 64,
+            batch: 8,
+            snapshot_every: 4,
+            dynamic_power_budget_w: 30.0,
+        }
+    }
+
+    /// Chiplet/PE count.
+    pub fn node_count(&self) -> usize {
+        self.width as usize * self.height as usize * self.tiers as usize
+    }
+
+    /// Weight capacity per chiplet/PE.
+    pub fn node_capacity(&self) -> u64 {
+        self.pim.weights_per_node()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datacenter_defaults() {
+        let cfg = SystemConfig::datacenter_25d();
+        assert_eq!(cfg.node_count(), 100);
+        // 128 rows x 32 weight cols x 512 crossbars.
+        assert_eq!(cfg.node_capacity(), 128 * 32 * 512);
+    }
+
+    #[test]
+    fn stacked_defaults() {
+        let cfg = SystemConfig::stacked_3d();
+        assert_eq!(cfg.node_count(), 100);
+        assert_eq!(cfg.tiers, 4);
+        assert_eq!(cfg.node_capacity(), 128 * 32 * 128);
+    }
+}

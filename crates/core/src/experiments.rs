@@ -1,0 +1,371 @@
+//! One entry point per paper artifact (tables, figures, analyses). The
+//! `pim-bench` binaries print these; the integration tests assert their
+//! shape against the paper's claims.
+
+use cost::CostModel;
+use dnn::{
+    build_model, storage_sweep, table1, table2, BertConfig, SegmentGraph, StorageRow,
+    Table1Entry,
+};
+use opt::SaConfig;
+use serde::{Deserialize, Serialize};
+use topology::TopologySummary;
+
+use crate::arch::NoiArch;
+use crate::config::SystemConfig;
+use crate::platform25::{Platform25D, WorkloadReport};
+use crate::platform3d::{PlacementEval, Platform3D};
+
+/// Table I row: paper's printed parameter count next to ours.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Workload id (`M1`..`M13`).
+    pub id: String,
+    /// Model name.
+    pub model: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Paper's printed parameter count, millions.
+    pub paper_params_m: f64,
+    /// Our computed parameter count, millions.
+    pub computed_params_m: f64,
+}
+
+/// Regenerates Table I.
+pub fn table1_rows() -> Vec<Table1Row> {
+    table1()
+        .into_iter()
+        .map(|e: Table1Entry| {
+            let g = build_model(e.kind, e.dataset).expect("table models build");
+            Table1Row {
+                id: e.id.to_string(),
+                model: e.kind.to_string(),
+                dataset: e.dataset.to_string(),
+                paper_params_m: e.paper_params_m,
+                computed_params_m: g.total_params() as f64 / 1e6,
+            }
+        })
+        .collect()
+}
+
+/// Table II row.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Mix name (`WL1`..`WL5`).
+    pub name: String,
+    /// Task instances in the mix.
+    pub tasks: usize,
+    /// Paper's printed total parameters, billions.
+    pub paper_total_b: f64,
+    /// Our computed total, billions.
+    pub computed_total_b: f64,
+}
+
+/// Regenerates Table II.
+pub fn table2_rows() -> Vec<Table2Row> {
+    table2()
+        .into_iter()
+        .map(|wl| {
+            let computed = wl.computed_total_params() as f64 / 1e9;
+            Table2Row {
+                tasks: wl.task_count(),
+                paper_total_b: wl.paper_total_params_b,
+                computed_total_b: computed,
+                name: wl.name,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 2: structural summaries of the four NoIs (port histograms, link
+/// counts, areas) for the 100-chiplet system.
+pub fn fig2_summaries(cfg: &SystemConfig) -> Vec<TopologySummary> {
+    NoiArch::all()
+        .into_iter()
+        .map(|arch| {
+            Platform25D::new(arch, cfg)
+                .expect("paper architectures build")
+                .structure()
+        })
+        .collect()
+}
+
+/// Fig. 3/4/5: one workload executed on one architecture.
+pub fn run_arch_workload(cfg: &SystemConfig, arch: NoiArch, wl_name: &str) -> WorkloadReport {
+    let wl = dnn::table2_workload(wl_name).expect("table II workload");
+    Platform25D::new(arch, cfg)
+        .expect("paper architectures build")
+        .run_workload(&wl)
+}
+
+/// Fig. 3/4/5: the full architecture x workload sweep.
+pub fn fig345_sweep(cfg: &SystemConfig) -> Vec<WorkloadReport> {
+    let mut out = Vec::new();
+    for wl in table2() {
+        for arch in NoiArch::all() {
+            out.push(
+                Platform25D::new(arch, cfg)
+                    .expect("paper architectures build")
+                    .run_workload(&wl),
+            );
+        }
+    }
+    out
+}
+
+/// Cost-comparison row.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostRow {
+    /// Architecture name.
+    pub arch: String,
+    /// NoI silicon area, mm².
+    pub noi_area_mm2: f64,
+    /// Fabrication cost normalized to the AMD reference (Eq. 2).
+    pub relative_cost: f64,
+    /// Cost ratio over Floret (Eq. 5).
+    pub ratio_vs_floret: f64,
+}
+
+/// Regenerates the Section II fabrication-cost comparison.
+pub fn cost_rows(cfg: &SystemConfig) -> Vec<CostRow> {
+    let model = CostModel::default();
+    let areas: Vec<(String, f64)> = NoiArch::all()
+        .into_iter()
+        .map(|arch| {
+            let p = Platform25D::new(arch, cfg).expect("paper architectures build");
+            (p.arch_name().to_string(), p.noi_area_mm2())
+        })
+        .collect();
+    let floret_area = areas
+        .iter()
+        .find(|(n, _)| n == "Floret")
+        .expect("floret present")
+        .1;
+    areas
+        .into_iter()
+        .map(|(arch, area)| CostRow {
+            arch,
+            noi_area_mm2: area,
+            relative_cost: model.relative_cost(area),
+            ratio_vs_floret: model.cost_ratio(area, floret_area),
+        })
+        .collect()
+}
+
+/// Fig. 6 row: one DNN on the 100-PE 3D system, Floret-enabled
+/// (performance-only) vs joint performance-thermal optimized NoC.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Fig6Row {
+    /// Workload id (Table I).
+    pub id: String,
+    /// Model name.
+    pub model: String,
+    /// Performance-only (SFC order) evaluation.
+    pub floret: PlacementEval,
+    /// Joint performance-thermal evaluation.
+    pub joint: PlacementEval,
+}
+
+/// The five DNNs of Figs. 6 (`W1..W5` = Table I `M9, M10, M11, M12, M13`,
+/// the CIFAR-10 rows, which fit the 52M-weight 100-PE stack; the paper's
+/// ImageNet M1-M5 need the 2.5D datacenter capacity).
+pub fn fig6_models() -> Vec<Table1Entry> {
+    table1()
+        .into_iter()
+        .filter(|e| ["M9", "M10", "M11", "M12", "M13"].contains(&e.id))
+        .collect()
+}
+
+/// The default annealing schedule for the joint design point.
+pub fn joint_sa_config() -> SaConfig {
+    SaConfig {
+        iterations: 400,
+        t_start: 0.5,
+        t_end: 1e-3,
+        weights: vec![1.0, 0.5],
+        seed: 0x3D_0C,
+    }
+}
+
+/// Regenerates Fig. 6 (EDP, peak temperature, accuracy impact).
+pub fn fig6_rows(cfg: &SystemConfig, sa: &SaConfig) -> Vec<Fig6Row> {
+    let platform = Platform3D::new(cfg).expect("3d platform builds");
+    fig6_models()
+        .into_iter()
+        .map(|e| {
+            let g = build_model(e.kind, e.dataset).expect("table models build");
+            let sg = SegmentGraph::from_layer_graph(&g);
+            let floret = platform
+                .evaluate(&sg, &platform.sfc_order())
+                .expect("fig6 models fit");
+            let (_, joint) = platform.optimize(&sg, sa).expect("fig6 models fit");
+            Fig6Row {
+                id: e.id.to_string(),
+                model: e.kind.to_string(),
+                floret,
+                joint,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 7 output: bottom-tier temperature maps for both mappings plus
+/// their peaks.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Maps {
+    /// Bottom-tier temperatures under the Floret (performance-only) NoC.
+    pub floret_bottom_tier: Vec<Vec<f64>>,
+    /// Bottom-tier temperatures under the joint optimization.
+    pub joint_bottom_tier: Vec<Vec<f64>>,
+    /// Peak temperature, Floret NoC, K.
+    pub floret_peak_k: f64,
+    /// Peak temperature, joint NoC, K.
+    pub joint_peak_k: f64,
+    /// Hotspot cells (>= 330 K), Floret NoC.
+    pub floret_hotspots: usize,
+    /// Hotspot cells (>= 330 K), joint NoC.
+    pub joint_hotspots: usize,
+}
+
+/// Regenerates Fig. 7 (ResNet-34 thermal maps on the 100-PE system).
+pub fn fig7_maps(cfg: &SystemConfig, sa: &SaConfig) -> Fig7Maps {
+    let platform = Platform3D::new(cfg).expect("3d platform builds");
+    let g = build_model(dnn::ModelKind::ResNet34, dnn::Dataset::Cifar10)
+        .expect("resnet34 builds");
+    let sg = SegmentGraph::from_layer_graph(&g);
+    let bottom = cfg.tiers - 1;
+
+    let sfc_placement = platform.place(&sg, &platform.sfc_order()).expect("fits");
+    let sfc_map = platform.thermal_map(&sg, &sfc_placement);
+
+    let (joint_order, _) = platform.optimize(&sg, sa).expect("fits");
+    let joint_placement = platform.place(&sg, &joint_order).expect("fits");
+    let joint_map = platform.thermal_map(&sg, &joint_placement);
+
+    Fig7Maps {
+        floret_bottom_tier: sfc_map.tier_slice(bottom),
+        joint_bottom_tier: joint_map.tier_slice(bottom),
+        floret_peak_k: sfc_map.peak_k(),
+        joint_peak_k: joint_map.peak_k(),
+        floret_hotspots: sfc_map.hotspot_count(330.0),
+        joint_hotspots: joint_map.hotspot_count(330.0),
+    }
+}
+
+/// Section IV: Transformer intermediate-storage sweep for BERT-Tiny and
+/// BERT-Base.
+pub fn transformer_rows() -> Vec<(String, Vec<StorageRow>)> {
+    let seqs = [64, 128, 256, 384, 512, 1024];
+    vec![
+        ("BERT-Tiny".to_string(), storage_sweep(&BertConfig::tiny(), &seqs)),
+        ("BERT-Base".to_string(), storage_sweep(&BertConfig::base(), &seqs)),
+    ]
+}
+
+/// Section II activation analysis: ResNet-34 linear-vs-skip traffic.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ActivationRow {
+    /// Model name.
+    pub model: String,
+    /// Linear (sequential) activation volume, elements.
+    pub sequential: u64,
+    /// Skip activation volume, elements.
+    pub skip: u64,
+    /// linear / skip ratio (paper: ~4.5x for ResNet-34).
+    pub linear_over_skip: f64,
+    /// Skip share of all propagated activations (paper: ~19%).
+    pub skip_fraction: f64,
+}
+
+/// Regenerates the ResNet-34 activation-split claim.
+pub fn activation_rows() -> Vec<ActivationRow> {
+    [dnn::ModelKind::ResNet18, dnn::ModelKind::ResNet34, dnn::ModelKind::ResNet50]
+        .into_iter()
+        .map(|kind| {
+            let g = build_model(kind, dnn::Dataset::ImageNet).expect("models build");
+            let split = g.activation_split();
+            ActivationRow {
+                model: kind.to_string(),
+                sequential: split.sequential,
+                skip: split.skip,
+                linear_over_skip: split.sequential as f64 / split.skip.max(1) as f64,
+                skip_fraction: split.skip_fraction(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rows_complete() {
+        assert_eq!(table1_rows().len(), 13);
+        assert_eq!(table2_rows().len(), 5);
+    }
+
+    #[test]
+    fn fig2_has_four_architectures() {
+        let cfg = SystemConfig::datacenter_25d();
+        let rows = fig2_summaries(&cfg);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert_eq!(r.routers, 100);
+        }
+    }
+
+    #[test]
+    fn cost_rows_normalized_to_floret() {
+        let cfg = SystemConfig::datacenter_25d();
+        let rows = cost_rows(&cfg);
+        let floret = rows.iter().find(|r| r.arch == "Floret").unwrap();
+        assert!((floret.ratio_vs_floret - 1.0).abs() < 1e-12);
+        for r in &rows {
+            if r.arch != "Floret" {
+                assert!(r.ratio_vs_floret > 1.0, "{} must cost more", r.arch);
+            }
+        }
+    }
+
+    #[test]
+    fn fig6_models_fit_the_3d_system() {
+        let cfg = SystemConfig::stacked_3d();
+        let capacity = cfg.node_capacity() * cfg.node_count() as u64;
+        for e in fig6_models() {
+            let g = build_model(e.kind, e.dataset).unwrap();
+            assert!(
+                g.total_params() < capacity,
+                "{} does not fit the 3D stack",
+                e.id
+            );
+        }
+    }
+
+    #[test]
+    fn transformer_rows_cover_both_models() {
+        let rows = transformer_rows();
+        assert_eq!(rows.len(), 2);
+        for (_, sweep) in &rows {
+            assert_eq!(sweep.len(), 6);
+        }
+    }
+
+    #[test]
+    fn fig345_single_run_is_complete() {
+        let cfg = SystemConfig::datacenter_25d();
+        let r = run_arch_workload(&cfg, NoiArch::Floret { lambda: 6 }, "WL1");
+        assert_eq!(r.arch, "Floret");
+        assert_eq!(r.workload, "WL1");
+        assert!(r.total_traffic_bytes > 0);
+        assert!(r.noi_energy_pj > r.noi_dynamic_energy_pj, "static share present");
+    }
+
+    #[test]
+    fn activation_rows_cover_resnets() {
+        let rows = activation_rows();
+        assert_eq!(rows.len(), 3);
+        let r34 = &rows[1];
+        assert!(r34.skip_fraction > 0.05 && r34.skip_fraction < 0.3);
+    }
+}

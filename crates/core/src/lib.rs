@@ -1,0 +1,46 @@
+//! Platform façade for the dataflow-aware PIM-enabled manycore
+//! architecture (DATE 2024 reproduction).
+//!
+//! Combines the substrate crates into the two systems the paper
+//! evaluates:
+//!
+//! * [`Platform25D`] — a 100-chiplet 2.5D interposer system with a choice
+//!   of NoI architecture ([`NoiArch`]: Floret, SIAM mesh, Kite, SWAP),
+//!   dataflow-aware SFC or greedy mapping, and full workload execution
+//!   (Figs. 2-5, Table II, cost analysis);
+//! * [`Platform3D`] — a 100-PE 3D-stacked system with an SFC NoC,
+//!   streaming power model, thermal solver and joint performance-thermal
+//!   placement optimization (Figs. 6-7).
+//!
+//! The [`experiments`] module regenerates every table and figure of the
+//! paper; the `pim-bench` crate prints them.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use pim_core::{NoiArch, Platform25D, SystemConfig};
+//!
+//! let cfg = SystemConfig::datacenter_25d();
+//! let wl = dnn::table2_workload("WL1").expect("table workload");
+//! for arch in NoiArch::all() {
+//!     let platform = Platform25D::new(arch, &cfg)?;
+//!     let report = platform.run_workload(&wl);
+//!     println!("{}: {} cycles", report.arch, report.sim_latency_cycles);
+//! }
+//! # Ok::<(), topology::TopologyError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod arch;
+mod config;
+pub mod experiments;
+pub mod hetero;
+mod platform25;
+mod platform3d;
+
+pub use arch::NoiArch;
+pub use config::SystemConfig;
+pub use platform25::{Platform25D, WorkloadReport};
+pub use platform3d::{ParetoPoint, PlacementEval, Platform3D};

@@ -1,0 +1,446 @@
+//! The 2.5D chiplet platform: one NoI architecture + mapping strategy +
+//! network simulation, evaluated on concurrent-DNN workloads (Section II).
+
+use std::collections::BTreeMap;
+
+use dnn::{build_model, SegmentGraph, Workload};
+use mapper::{
+    placement_transfers, run_churn, run_queue, ChurnOutcome, QueueOutcome, Strategy,
+};
+use netsim::{analyze_with_table, sample_flows, simulate_with_table, Flow, RouteTable, SimConfig};
+use serde::{Deserialize, Serialize};
+use topology::{FloretLayout, Topology, TopologyError, TopologySummary};
+
+use crate::arch::NoiArch;
+use crate::config::SystemConfig;
+
+/// A 2.5D PIM chiplet system with a fixed NoI architecture.
+///
+/// # Examples
+///
+/// ```
+/// use pim_core::{NoiArch, Platform25D, SystemConfig};
+///
+/// let cfg = SystemConfig::datacenter_25d();
+/// let floret = Platform25D::new(NoiArch::Floret { lambda: 6 }, &cfg)?;
+/// let wl = dnn::table2_workload("WL1").expect("table workload");
+/// let report = floret.run_workload(&wl);
+/// assert_eq!(report.mapped_tasks, wl.task_count());
+/// # Ok::<(), topology::TopologyError>(())
+/// ```
+#[derive(Debug)]
+pub struct Platform25D {
+    arch: NoiArch,
+    cfg: SystemConfig,
+    topo: Topology,
+    layout: Option<FloretLayout>,
+    route: RouteTable,
+}
+
+/// Aggregate result of executing one Table II workload mix under the
+/// dynamic-churn service model (tasks arrive as a queue, the oldest
+/// resident completes when space is needed).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadReport {
+    /// Architecture name.
+    pub arch: String,
+    /// Workload name.
+    pub workload: String,
+    /// Forced departures during admission (churn-pressure diagnostic).
+    pub departures: usize,
+    /// Mean chiplet utilization sampled at each admission (Fig. 4 metric).
+    pub mean_utilization: f64,
+    /// Tasks successfully mapped.
+    pub mapped_tasks: usize,
+    /// Tasks that could not be mapped at all.
+    pub failed_tasks: usize,
+    /// Total NoI latency summed over tasks from the discrete-event
+    /// simulator on sampled traffic, cycles (Fig. 3 metric).
+    pub sim_latency_cycles: u64,
+    /// Packet-count-weighted mean packet latency, cycles.
+    pub mean_packet_latency_cycles: f64,
+    /// Analytical makespan bound summed over tasks on the full traffic,
+    /// cycles.
+    pub analytical_latency_cycles: u64,
+    /// Total NoI energy on the full traffic: dynamic (per-flit switching)
+    /// plus static (area-proportional idle power over the execution
+    /// time), pJ (Fig. 5 metric).
+    pub noi_energy_pj: f64,
+    /// Dynamic share of [`WorkloadReport::noi_energy_pj`], pJ.
+    pub noi_dynamic_energy_pj: f64,
+    /// Mean hop count weighted by traffic bytes (mapping-quality
+    /// diagnostic).
+    pub mean_weighted_hops: f64,
+    /// Total inter-chiplet traffic, bytes.
+    pub total_traffic_bytes: u64,
+    /// One-time crossbar programming energy paid at each task admission
+    /// (dynamic mapping is not free: every placement writes its weights
+    /// into ReRAM), pJ.
+    pub program_energy_pj: f64,
+    /// Total crossbar programming time across admissions, ns.
+    pub program_latency_ns: f64,
+}
+
+impl Platform25D {
+    /// Builds the platform for one architecture.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyError`] from the topology generators.
+    pub fn new(arch: NoiArch, cfg: &SystemConfig) -> Result<Self, TopologyError> {
+        let (topo, layout) = arch.build(cfg.width, cfg.height)?;
+        let route = RouteTable::build(&topo, &cfg.hw);
+        Ok(Platform25D {
+            arch,
+            cfg: cfg.clone(),
+            topo,
+            layout,
+            route,
+        })
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The SFC layout (Floret only).
+    pub fn layout(&self) -> Option<&FloretLayout> {
+        self.layout.as_ref()
+    }
+
+    /// Architecture name.
+    pub fn arch_name(&self) -> &'static str {
+        self.arch.name()
+    }
+
+    /// Structural summary (Fig. 2 row).
+    pub fn structure(&self) -> TopologySummary {
+        topology::summarize(&self.topo, &self.cfg.hw)
+    }
+
+    /// NoI silicon area under the hardware model, mm² (cost input).
+    pub fn noi_area_mm2(&self) -> f64 {
+        self.cfg.hw.noi_area_mm2(&self.topo)
+    }
+
+    /// Builds the per-task segment graphs of a workload (cached per
+    /// model/dataset pair).
+    pub fn task_graphs(wl: &Workload) -> Vec<SegmentGraph> {
+        let mut cache: BTreeMap<(String, String), SegmentGraph> = BTreeMap::new();
+        wl.tasks()
+            .into_iter()
+            .map(|(kind, dataset)| {
+                cache
+                    .entry((kind.to_string(), dataset.to_string()))
+                    .or_insert_with(|| {
+                        let g = build_model(kind, dataset).expect("table models build");
+                        SegmentGraph::from_layer_graph(&g)
+                    })
+                    .clone()
+            })
+            .collect()
+    }
+
+    /// Mapping strategy: SFC along the Floret curve, or greedy for the
+    /// baselines. `soft` lifts the baseline contiguity constraint (the
+    /// plain "least hops" greedy used for the latency/energy figures);
+    /// the hard variant is the admission model of the Fig. 4 comparison.
+    fn strategy(&self, soft: bool) -> Strategy<'_> {
+        match &self.layout {
+            Some(layout) => Strategy::sfc(layout),
+            None => {
+                let cfg = if soft {
+                    mapper::GreedyConfig::soft()
+                } else {
+                    self.arch.greedy_config()
+                };
+                Strategy::greedy(&self.topo, cfg)
+            }
+        }
+    }
+
+    /// Maps the workload queue wave-by-wave (all resident tasks complete
+    /// together) under the hard-contiguity admission model. Used by the
+    /// Fig. 4 utilization comparison.
+    pub fn map_workload(&self, wl: &Workload) -> QueueOutcome {
+        let graphs = Self::task_graphs(wl);
+        run_queue(
+            &graphs,
+            self.cfg.node_count(),
+            self.cfg.node_capacity(),
+            &self.strategy(false),
+        )
+    }
+
+    /// Maps the workload queue under dynamic churn (FIFO task
+    /// completions), producing the fragmented placements that drive the
+    /// Fig. 3/5 comparison.
+    pub fn map_workload_churn(&self, wl: &Workload) -> ChurnOutcome {
+        let graphs = Self::task_graphs(wl);
+        run_churn(
+            &graphs,
+            self.cfg.node_count(),
+            self.cfg.node_capacity(),
+            &self.strategy(true),
+        )
+    }
+
+    /// [`Platform25D::map_workload_churn`] with injected chiplet faults:
+    /// the listed chiplets are dead before any task arrives, and the
+    /// mapper must work around them (the SFC re-stitches over dead
+    /// chiplets at the cost of extra hops).
+    pub fn map_workload_churn_with_faults(
+        &self,
+        wl: &Workload,
+        failed: &[topology::NodeId],
+    ) -> ChurnOutcome {
+        let graphs = Self::task_graphs(wl);
+        let mut ledger =
+            mapper::CapacityLedger::new(self.cfg.node_count(), self.cfg.node_capacity());
+        for &n in failed {
+            ledger.mark_failed(n);
+        }
+        mapper::run_churn_with_ledger(&graphs, ledger, &self.strategy(true))
+    }
+
+    /// Fault-tolerance study: re-runs the workload with the given dead
+    /// chiplets and reports the byte-weighted mean hop count and total
+    /// traffic of the degraded placements (the NoI metrics of the
+    /// fault-injection ablation).
+    pub fn degraded_hops(&self, wl: &Workload, failed: &[topology::NodeId]) -> (f64, u64) {
+        let graphs = Self::task_graphs(wl);
+        let outcome = self.map_workload_churn_with_faults(wl, failed);
+        let mut hops_weighted = 0.0;
+        let mut traffic = 0u64;
+        for tp in &outcome.placements {
+            let transfers =
+                placement_transfers(tp, &graphs[tp.task.index()], self.cfg.activation_bytes);
+            let flows: Vec<Flow> = transfers
+                .iter()
+                .map(|t| Flow::new(t.src, t.dst, t.bytes))
+                .collect();
+            if flows.is_empty() {
+                continue;
+            }
+            let bytes = netsim::total_bytes(&flows);
+            let ana = analyze_with_table(&self.topo, &self.cfg.hw, &flows, &self.route);
+            hops_weighted += ana.mean_weighted_hops * bytes as f64;
+            traffic += bytes;
+        }
+        (
+            if traffic == 0 {
+                0.0
+            } else {
+                hops_weighted / traffic as f64
+            },
+            traffic,
+        )
+    }
+
+    /// Maps (under churn) and simulates a workload. The NoI carries the
+    /// traffic of all *co-resident* tasks simultaneously (`batch`
+    /// inference frames each): snapshots of the resident set are taken
+    /// along the admission sequence and replayed together, so both the
+    /// placement quality under fragmentation and the cross-task link
+    /// contention differ across architectures.
+    pub fn run_workload(&self, wl: &Workload) -> WorkloadReport {
+        let graphs = Self::task_graphs(wl);
+        let outcome = run_churn(
+            &graphs,
+            self.cfg.node_count(),
+            self.cfg.node_capacity(),
+            &self.strategy(true),
+        );
+
+        // Per-task flows, built once.
+        let task_flows: Vec<Vec<Flow>> = outcome
+            .placements
+            .iter()
+            .map(|tp| {
+                placement_transfers(tp, &graphs[tp.task.index()], self.cfg.activation_bytes)
+                    .into_iter()
+                    .map(|t| Flow::new(t.src, t.dst, t.bytes * self.cfg.batch as u64))
+                    .collect()
+            })
+            .collect();
+        let placement_of: std::collections::BTreeMap<u32, usize> = outcome
+            .placements
+            .iter()
+            .enumerate()
+            .map(|(i, tp)| (tp.task.0, i))
+            .collect();
+
+        // Per-task analytical accounting: every task's traffic is paid
+        // exactly once (energy and zero-load latency depend only on the
+        // placement, not on co-residency).
+        let mut analytical_latency = 0u64;
+        let mut energy_pj = 0.0;
+        let mut traffic = 0u64;
+        let mut hops_weighted = 0.0;
+        for flows in &task_flows {
+            if flows.is_empty() {
+                continue;
+            }
+            let bytes = netsim::total_bytes(flows);
+            traffic += bytes;
+            let ana = analyze_with_table(&self.topo, &self.cfg.hw, flows, &self.route);
+            analytical_latency += ana.makespan_cycles;
+            energy_pj += ana.total_energy_pj;
+            hops_weighted += ana.mean_weighted_hops * bytes as f64;
+        }
+
+        // Snapshot DES: co-resident tasks share the NoI, so contention is
+        // measured on resident-set snapshots along the admission sequence.
+        let mut sim_latency = 0u64;
+        let mut packet_lat_weighted = 0.0;
+        let mut packets = 0u64;
+        let sim_cfg = SimConfig { packet_bytes: 256 };
+        let every = self.cfg.snapshot_every.max(1) as usize;
+        let n_snaps = outcome.snapshots.len();
+        for (si, snap) in outcome.snapshots.iter().enumerate() {
+            if si % every != 0 && si + 1 != n_snaps {
+                continue;
+            }
+            let flows: Vec<Flow> = snap
+                .iter()
+                .filter_map(|t| placement_of.get(&t.0))
+                .flat_map(|&i| task_flows[i].iter().copied())
+                .collect();
+            if flows.is_empty() {
+                continue;
+            }
+            let sampled = sample_flows(&flows, self.cfg.sim_sampling);
+            let sim =
+                simulate_with_table(&self.topo, &self.cfg.hw, &sampled, &sim_cfg, &self.route);
+            sim_latency += sim.makespan_cycles;
+            packet_lat_weighted += sim.mean_packet_latency_cycles * sim.packets as f64;
+            packets += sim.packets;
+        }
+
+        // Static NoI energy: the whole fabric idles for the serialized
+        // communication time of the workload.
+        let exec_ns = analytical_latency as f64 * self.cfg.hw.cycle_ns();
+        let static_pj = self.cfg.hw.static_energy_pj(self.noi_area_mm2(), exec_ns);
+
+        // Crossbar programming: every admission writes the task's weights
+        // into its chiplets once.
+        let mut program_energy_pj = 0.0;
+        let mut program_latency_ns = 0.0;
+        for tp in &outcome.placements {
+            for seg in graphs[tp.task.index()].segments() {
+                let (lat, e) = pim::segment_program_cost(seg, &self.cfg.pim);
+                program_energy_pj += e;
+                program_latency_ns += lat;
+            }
+        }
+
+        WorkloadReport {
+            arch: self.arch.name().to_string(),
+            workload: wl.name.clone(),
+            departures: outcome.departures,
+            mean_utilization: outcome.mean_utilization,
+            mapped_tasks: outcome.placements.len(),
+            failed_tasks: outcome.failed.len(),
+            sim_latency_cycles: sim_latency,
+            mean_packet_latency_cycles: if packets == 0 {
+                0.0
+            } else {
+                packet_lat_weighted / packets as f64
+            },
+            analytical_latency_cycles: analytical_latency,
+            noi_energy_pj: energy_pj + static_pj,
+            noi_dynamic_energy_pj: energy_pj,
+            mean_weighted_hops: if traffic == 0 {
+                0.0
+            } else {
+                hops_weighted / traffic as f64
+            },
+            total_traffic_bytes: traffic,
+            program_energy_pj,
+            program_latency_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_workload() -> Workload {
+        // A reduced WL1-style mix that still oversubscribes 100 chiplets.
+        dnn::table2_workload("WL1").unwrap()
+    }
+
+    #[test]
+    fn floret_runs_wl1() {
+        let cfg = SystemConfig::datacenter_25d();
+        let p = Platform25D::new(NoiArch::Floret { lambda: 6 }, &cfg).unwrap();
+        let rep = p.run_workload(&small_workload());
+        assert_eq!(rep.failed_tasks, 0);
+        assert_eq!(rep.mapped_tasks, 28);
+        assert!(rep.departures > 0, "WL1 must oversubscribe the system");
+        assert!(rep.sim_latency_cycles > 0);
+        assert!(rep.noi_energy_pj > 0.0);
+        assert!(rep.mean_utilization > 0.6);
+    }
+
+    #[test]
+    fn all_archs_complete_wl1() {
+        let cfg = SystemConfig::datacenter_25d();
+        let wl = small_workload();
+        for arch in NoiArch::all() {
+            let p = Platform25D::new(arch, &cfg).unwrap();
+            let rep = p.run_workload(&wl);
+            assert_eq!(rep.failed_tasks, 0, "{} failed tasks", rep.arch);
+            assert_eq!(rep.mapped_tasks, 28, "{}", rep.arch);
+        }
+    }
+
+    #[test]
+    fn floret_beats_kite_on_latency_and_energy() {
+        // The headline Fig. 3/5 directions on the concurrency-heavy WL1.
+        let cfg = SystemConfig::datacenter_25d();
+        let wl = small_workload();
+        let floret = Platform25D::new(NoiArch::Floret { lambda: 6 }, &cfg)
+            .unwrap()
+            .run_workload(&wl);
+        let kite = Platform25D::new(NoiArch::Kite, &cfg).unwrap().run_workload(&wl);
+        assert!(
+            kite.sim_latency_cycles > floret.sim_latency_cycles,
+            "kite {} vs floret {}",
+            kite.sim_latency_cycles,
+            floret.sim_latency_cycles
+        );
+        assert!(
+            kite.noi_energy_pj > 1.5 * floret.noi_energy_pj,
+            "kite {} vs floret {} energy (paper: ~2.8x)",
+            kite.noi_energy_pj,
+            floret.noi_energy_pj
+        );
+        assert!(
+            kite.mean_weighted_hops > floret.mean_weighted_hops,
+            "floret keeps consecutive layers closer"
+        );
+    }
+
+    #[test]
+    fn programming_costs_are_accounted() {
+        let cfg = SystemConfig::datacenter_25d();
+        let p = Platform25D::new(NoiArch::Floret { lambda: 6 }, &cfg).unwrap();
+        let rep = p.run_workload(&small_workload());
+        assert!(rep.program_energy_pj > 0.0);
+        assert!(rep.program_latency_ns > 0.0);
+        // Programming is a one-time cost per admission; for a streaming
+        // batch it must not dwarf the NoI energy entirely.
+        assert!(rep.program_energy_pj < 1e3 * rep.noi_energy_pj);
+    }
+
+    #[test]
+    fn workload_graphs_cache_consistency() {
+        let graphs = Platform25D::task_graphs(&small_workload());
+        assert_eq!(graphs.len(), 28);
+        // The 16 leading ResNet18 tasks share a structure.
+        assert_eq!(graphs[0].segment_count(), graphs[15].segment_count());
+    }
+}

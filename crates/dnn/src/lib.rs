@@ -1,0 +1,48 @@
+//! DNN workload modelling for dataflow-aware PIM manycore evaluation.
+//!
+//! Implements the workload side of the DATE 2024 paper *"Dataflow-Aware
+//! PIM-Enabled Manycore Architecture for Deep Learning Workloads"*:
+//!
+//! * a layer-graph representation with typed edges ([`LayerGraph`],
+//!   [`EdgeKind`]) and per-layer parameter/MAC/activation accounting;
+//! * the Table I model zoo ([`table1`], [`build_model`]): ResNets, VGGs,
+//!   DenseNet-169 and GoogLeNet on ImageNet and CIFAR-10;
+//! * the Table II concurrent-DNN datacenter mixes ([`table2`]);
+//! * segment compression for chiplet mapping ([`SegmentGraph`]);
+//! * the Section IV Transformer storage analysis ([`BertConfig`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use dnn::{build_model, Dataset, ModelKind, SegmentGraph};
+//!
+//! let net = build_model(ModelKind::ResNet34, Dataset::ImageNet)?;
+//! // Section II claim: skips carry ~19% of ResNet-34's activations.
+//! let split = net.activation_split();
+//! assert!((0.1..0.25).contains(&split.skip_fraction()));
+//!
+//! // Compress to the mappable segment graph.
+//! let sg = SegmentGraph::from_layer_graph(&net);
+//! assert_eq!(sg.total_params(), net.total_params());
+//! # Ok::<(), dnn::GraphError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod graph;
+mod layer;
+pub mod models;
+mod segment;
+mod shapes;
+mod transformer;
+mod workload;
+mod zoo;
+
+pub use graph::{ActivationSplit, Edge, EdgeKind, GraphBuilder, GraphError, LayerGraph};
+pub use layer::{Layer, LayerId, LayerKind};
+pub use segment::{Segment, SegmentEdge, SegmentGraph, SegmentId};
+pub use shapes::{Dataset, TensorShape};
+pub use transformer::{lifetime_inferences, storage_sweep, BertConfig, StorageRow};
+pub use workload::{table2, table2_workload, MixEntry, Workload};
+pub use zoo::{build_model, table1, table1_entry, ModelKind, Table1Entry};

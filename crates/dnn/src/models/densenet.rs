@@ -1,0 +1,139 @@
+//! DenseNet (Huang et al., CVPR 2017), torchvision configuration.
+//! DenseNet-169 is the Table I dense-connectivity workload.
+
+use crate::graph::{GraphBuilder, GraphError, LayerGraph};
+use crate::layer::LayerId;
+use crate::shapes::Dataset;
+
+/// One BN→ReLU→1x1 conv→BN→ReLU→3x3 conv dense layer; returns the id of
+/// the new `growth`-channel feature map.
+fn dense_layer(
+    g: &mut GraphBuilder,
+    concat_in: LayerId,
+    name: &str,
+    growth: u32,
+    bn_size: u32,
+) -> Result<LayerId, GraphError> {
+    let b1 = g.batchnorm(concat_in, &format!("{name}.bn1"))?;
+    let r1 = g.relu(b1, &format!("{name}.relu1"))?;
+    let c1 = g.conv(r1, &format!("{name}.conv1"), bn_size * growth, 1, 1, 0, false)?;
+    let b2 = g.batchnorm(c1, &format!("{name}.bn2"))?;
+    let r2 = g.relu(b2, &format!("{name}.relu2"))?;
+    g.conv(r2, &format!("{name}.conv2"), growth, 3, 1, 1, false)
+}
+
+fn densenet(
+    name: &str,
+    dataset: Dataset,
+    block_config: &[u32],
+    growth: u32,
+    init_features: u32,
+) -> Result<LayerGraph, GraphError> {
+    let bn_size = 4u32;
+    let mut g = GraphBuilder::new(name, dataset);
+    let x = g.input();
+    let (mut cur, mut channels) = match dataset {
+        Dataset::ImageNet => {
+            let c = g.conv(x, "stem.conv", init_features, 7, 2, 3, false)?;
+            let b = g.batchnorm(c, "stem.bn")?;
+            let r = g.relu(b, "stem.relu")?;
+            let p = g.max_pool(r, "stem.pool", 3, 2, 1)?;
+            (p, init_features)
+        }
+        Dataset::Cifar10 => {
+            let c = g.conv(x, "stem.conv", init_features, 3, 1, 1, false)?;
+            let b = g.batchnorm(c, "stem.bn")?;
+            let r = g.relu(b, "stem.relu")?;
+            (r, init_features)
+        }
+    };
+
+    for (bi, &num_layers) in block_config.iter().enumerate() {
+        // Dense block: every layer consumes the concat of the block input
+        // and all previous layer outputs in the block.
+        let mut features: Vec<LayerId> = vec![cur];
+        for li in 0..num_layers {
+            let lname = format!("denseblock{}.layer{}", bi + 1, li + 1);
+            let input = if features.len() == 1 {
+                features[0]
+            } else {
+                g.concat(&features, &format!("{lname}.concat"))?
+            };
+            let out = dense_layer(&mut g, input, &lname, growth, bn_size)?;
+            features.push(out);
+            channels += growth;
+        }
+        cur = g.concat(&features, &format!("denseblock{}.out", bi + 1))?;
+        // Transition layer between blocks (not after the last).
+        if bi + 1 < block_config.len() {
+            let tname = format!("transition{}", bi + 1);
+            let b = g.batchnorm(cur, &format!("{tname}.bn"))?;
+            let r = g.relu(b, &format!("{tname}.relu"))?;
+            channels /= 2;
+            let c = g.conv(r, &format!("{tname}.conv"), channels, 1, 1, 0, false)?;
+            cur = g.avg_pool(c, &format!("{tname}.pool"), 2, 2, 0)?;
+        }
+    }
+    let b = g.batchnorm(cur, "final.bn")?;
+    let r = g.relu(b, "final.relu")?;
+    let p = g.global_avg_pool(r, "gap")?;
+    g.linear(p, "classifier", dataset.classes(), true)?;
+    Ok(g.build())
+}
+
+/// DenseNet-169: blocks (6, 12, 32, 32), growth rate 32.
+pub fn densenet169(dataset: Dataset) -> Result<LayerGraph, GraphError> {
+    densenet("densenet169", dataset, &[6, 12, 32, 32], 32, 64)
+}
+
+/// DenseNet-121: blocks (6, 12, 24, 16), growth rate 32 (used by the
+/// ablation benches).
+pub fn densenet121(dataset: Dataset) -> Result<LayerGraph, GraphError> {
+    densenet("densenet121", dataset, &[6, 12, 24, 16], 32, 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeKind;
+
+    #[test]
+    fn densenet169_params_match_torchvision() {
+        let g = densenet169(Dataset::ImageNet).unwrap();
+        let p = g.total_params() as f64 / 1e6;
+        // torchvision: 14.15M. (Table I prints 54.84M, which matches its
+        // ResNet-152 row instead; see EXPERIMENTS.md.)
+        assert!((p - 14.15).abs() < 0.2, "densenet169 params {p}M");
+    }
+
+    #[test]
+    fn densenet121_params_match_torchvision() {
+        let g = densenet121(Dataset::ImageNet).unwrap();
+        let p = g.total_params() as f64 / 1e6;
+        assert!((p - 7.98).abs() < 0.15, "densenet121 params {p}M");
+    }
+
+    #[test]
+    fn densenet_has_dense_edges() {
+        let g = densenet121(Dataset::ImageNet).unwrap();
+        let split = g.activation_split();
+        assert!(split.dense > 0, "dense connectivity must produce Dense edges");
+        assert!(
+            split.dense > split.sequential / 10,
+            "dense re-use traffic should be substantial"
+        );
+    }
+
+    #[test]
+    fn densenet169_weighted_layers() {
+        // 1 stem + 2 convs per dense layer * 82 layers + 3 transitions + 1 fc.
+        let g = densenet169(Dataset::ImageNet).unwrap();
+        assert_eq!(g.weighted_layer_count(), 1 + 2 * 82 + 3 + 1);
+    }
+
+    #[test]
+    fn densenet_cifar_builds() {
+        let g = densenet121(Dataset::Cifar10).unwrap();
+        assert_eq!(g.layers().last().unwrap().out_shape.numel(), 10);
+    }
+}

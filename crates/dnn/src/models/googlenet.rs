@@ -1,0 +1,141 @@
+//! GoogLeNet / Inception-v1 (Szegedy et al., CVPR 2015), torchvision
+//! configuration (batch-normalized convs, 3x3 in the "5x5" branch, no
+//! auxiliary heads at inference).
+
+use crate::graph::{GraphBuilder, GraphError, LayerGraph};
+use crate::layer::LayerId;
+use crate::shapes::Dataset;
+
+/// Inception module channel configuration:
+/// (1x1, 3x3-reduce, 3x3, 5x5-reduce, 5x5, pool-proj).
+type InceptionCfg = (u32, u32, u32, u32, u32, u32);
+
+fn basic_conv(
+    g: &mut GraphBuilder,
+    from: LayerId,
+    name: &str,
+    out_c: u32,
+    kernel: u32,
+    stride: u32,
+    padding: u32,
+) -> Result<LayerId, GraphError> {
+    let c = g.conv(from, &format!("{name}.conv"), out_c, kernel, stride, padding, false)?;
+    let b = g.batchnorm(c, &format!("{name}.bn"))?;
+    g.relu(b, &format!("{name}.relu"))
+}
+
+fn inception(
+    g: &mut GraphBuilder,
+    from: LayerId,
+    name: &str,
+    cfg: InceptionCfg,
+    double_b3: bool,
+) -> Result<LayerId, GraphError> {
+    let (c1, c3r, c3, c5r, c5, pp) = cfg;
+    let b1 = basic_conv(g, from, &format!("{name}.branch1"), c1, 1, 1, 0)?;
+    let b2a = basic_conv(g, from, &format!("{name}.branch2.0"), c3r, 1, 1, 0)?;
+    let b2 = basic_conv(g, b2a, &format!("{name}.branch2.1"), c3, 3, 1, 1)?;
+    let b3a = basic_conv(g, from, &format!("{name}.branch3.0"), c5r, 1, 1, 0)?;
+    let mut b3 = basic_conv(g, b3a, &format!("{name}.branch3.1"), c5, 3, 1, 1)?;
+    if double_b3 {
+        // CIFAR adaptation factors the 5x5 into two stacked 3x3 convs.
+        b3 = basic_conv(g, b3, &format!("{name}.branch3.2"), c5, 3, 1, 1)?;
+    }
+    let b4p = g.max_pool(from, &format!("{name}.branch4.pool"), 3, 1, 1)?;
+    let b4 = basic_conv(g, b4p, &format!("{name}.branch4.proj"), pp, 1, 1, 0)?;
+    g.concat(&[b1, b2, b3, b4], &format!("{name}.concat"))
+}
+
+/// Builds GoogLeNet. The CIFAR-10 variant uses the common 3x3/192 stem
+/// adaptation, giving ~6.2M parameters (Table I lists 6.16M).
+pub fn googlenet(dataset: Dataset) -> Result<LayerGraph, GraphError> {
+    let mut g = GraphBuilder::new("googlenet", dataset);
+    let x = g.input();
+    let double_b3 = dataset == Dataset::Cifar10;
+    let mut cur = match dataset {
+        Dataset::ImageNet => {
+            let c1 = basic_conv(&mut g, x, "stem.conv1", 64, 7, 2, 3)?;
+            let p1 = g.max_pool(c1, "stem.pool1", 3, 2, 1)?;
+            let c2 = basic_conv(&mut g, p1, "stem.conv2", 64, 1, 1, 0)?;
+            let c3 = basic_conv(&mut g, c2, "stem.conv3", 192, 3, 1, 1)?;
+            g.max_pool(c3, "stem.pool2", 3, 2, 1)?
+        }
+        Dataset::Cifar10 => basic_conv(&mut g, x, "stem.conv1", 192, 3, 1, 1)?,
+    };
+
+    let stage3: [InceptionCfg; 2] = [
+        (64, 96, 128, 16, 32, 32),
+        (128, 128, 192, 32, 96, 64),
+    ];
+    let stage4: [InceptionCfg; 5] = [
+        (192, 96, 208, 16, 48, 64),
+        (160, 112, 224, 24, 64, 64),
+        (128, 128, 256, 24, 64, 64),
+        (112, 144, 288, 32, 64, 64),
+        (256, 160, 320, 32, 128, 128),
+    ];
+    let stage5: [InceptionCfg; 2] = [
+        (256, 160, 320, 32, 128, 128),
+        (384, 192, 384, 48, 128, 128),
+    ];
+
+    for (i, &cfg) in stage3.iter().enumerate() {
+        cur = inception(&mut g, cur, &format!("inception3{}", (b'a' + i as u8) as char), cfg, double_b3)?;
+    }
+    cur = g.max_pool(cur, "pool3", 3, 2, 1)?;
+    for (i, &cfg) in stage4.iter().enumerate() {
+        cur = inception(&mut g, cur, &format!("inception4{}", (b'a' + i as u8) as char), cfg, double_b3)?;
+    }
+    cur = g.max_pool(cur, "pool4", 3, 2, 1)?;
+    for (i, &cfg) in stage5.iter().enumerate() {
+        cur = inception(&mut g, cur, &format!("inception5{}", (b'a' + i as u8) as char), cfg, double_b3)?;
+    }
+    let p = g.global_avg_pool(cur, "gap")?;
+    g.linear(p, "fc", dataset.classes(), true)?;
+    Ok(g.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeKind;
+
+    #[test]
+    fn googlenet_imagenet_params_match_torchvision() {
+        let g = googlenet(Dataset::ImageNet).unwrap();
+        let p = g.total_params() as f64 / 1e6;
+        // torchvision (no aux heads): 6.62M.
+        assert!((p - 6.62).abs() < 0.15, "googlenet params {p}M");
+    }
+
+    #[test]
+    fn googlenet_cifar_params_match_table1() {
+        let g = googlenet(Dataset::Cifar10).unwrap();
+        let p = g.total_params() as f64 / 1e6;
+        // Table I: 6.16M for GoogLeNet on CIFAR-10.
+        assert!((5.9..=6.5).contains(&p), "googlenet-cifar params {p}M");
+    }
+
+    #[test]
+    fn googlenet_has_branch_traffic() {
+        let g = googlenet(Dataset::ImageNet).unwrap();
+        let dense = g
+            .edges()
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Dense)
+            .count();
+        // 9 inception modules x 3 non-primary concat inputs.
+        assert_eq!(dense, 27);
+    }
+
+    #[test]
+    fn googlenet_final_concat_channels() {
+        let g = googlenet(Dataset::ImageNet).unwrap();
+        let concat = g
+            .layers()
+            .iter()
+            .rfind(|l| l.name == "inception5b.concat")
+            .unwrap();
+        assert_eq!(concat.out_shape.c, 1024);
+    }
+}

@@ -1,0 +1,11 @@
+//! Ready-made model constructors for the Table I workloads.
+
+mod densenet;
+mod googlenet;
+mod resnet;
+mod vgg;
+
+pub use densenet::{densenet121, densenet169};
+pub use googlenet::googlenet;
+pub use resnet::{resnet101, resnet110, resnet152, resnet18, resnet20, resnet34, resnet50, resnet56};
+pub use vgg::{vgg11, vgg19};

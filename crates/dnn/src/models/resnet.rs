@@ -1,0 +1,307 @@
+//! ResNet family: ImageNet-style (He et al., CVPR 2016, torchvision
+//! configuration) and CIFAR-style (the 6n+2 networks, e.g. ResNet-110).
+
+use crate::graph::{GraphBuilder, GraphError, LayerGraph};
+use crate::layer::LayerId;
+use crate::shapes::Dataset;
+
+/// Which residual block a ResNet uses.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum BlockKind {
+    Basic,
+    Bottleneck,
+}
+
+/// Appends a basic residual block (two 3x3 convs) and returns the output.
+fn basic_block(
+    g: &mut GraphBuilder,
+    from: LayerId,
+    name: &str,
+    out_c: u32,
+    stride: u32,
+    in_c: u32,
+) -> Result<LayerId, GraphError> {
+    let c1 = g.conv(from, &format!("{name}.conv1"), out_c, 3, stride, 1, false)?;
+    let b1 = g.batchnorm(c1, &format!("{name}.bn1"))?;
+    let r1 = g.relu(b1, &format!("{name}.relu1"))?;
+    let c2 = g.conv(r1, &format!("{name}.conv2"), out_c, 3, 1, 1, false)?;
+    let b2 = g.batchnorm(c2, &format!("{name}.bn2"))?;
+    let shortcut = if stride != 1 || in_c != out_c {
+        let ds = g.conv(from, &format!("{name}.downsample.conv"), out_c, 1, stride, 0, false)?;
+        g.batchnorm(ds, &format!("{name}.downsample.bn"))?
+    } else {
+        from
+    };
+    let a = g.add(b2, shortcut, &format!("{name}.add"))?;
+    g.relu(a, &format!("{name}.relu2"))
+}
+
+/// Appends a bottleneck residual block (1x1 → 3x3 → 1x1, 4x expansion).
+fn bottleneck_block(
+    g: &mut GraphBuilder,
+    from: LayerId,
+    name: &str,
+    mid_c: u32,
+    stride: u32,
+    in_c: u32,
+) -> Result<LayerId, GraphError> {
+    let out_c = mid_c * 4;
+    let c1 = g.conv(from, &format!("{name}.conv1"), mid_c, 1, 1, 0, false)?;
+    let b1 = g.batchnorm(c1, &format!("{name}.bn1"))?;
+    let r1 = g.relu(b1, &format!("{name}.relu1"))?;
+    let c2 = g.conv(r1, &format!("{name}.conv2"), mid_c, 3, stride, 1, false)?;
+    let b2 = g.batchnorm(c2, &format!("{name}.bn2"))?;
+    let r2 = g.relu(b2, &format!("{name}.relu2"))?;
+    let c3 = g.conv(r2, &format!("{name}.conv3"), out_c, 1, 1, 0, false)?;
+    let b3 = g.batchnorm(c3, &format!("{name}.bn3"))?;
+    let shortcut = if stride != 1 || in_c != out_c {
+        let ds = g.conv(from, &format!("{name}.downsample.conv"), out_c, 1, stride, 0, false)?;
+        g.batchnorm(ds, &format!("{name}.downsample.bn"))?
+    } else {
+        from
+    };
+    let a = g.add(b3, shortcut, &format!("{name}.add"))?;
+    g.relu(a, &format!("{name}.relu3"))
+}
+
+/// Builds an ImageNet-style ResNet. `stages` gives the block count per
+/// stage. For CIFAR-10 the stem is the common CIFAR adaptation (3x3 conv,
+/// no max-pool), which reproduces the ~11.2M parameter ResNet-18 of
+/// Table I.
+fn resnet_imagenet_style(
+    name: &str,
+    dataset: Dataset,
+    kind: BlockKind,
+    stages: [u32; 4],
+) -> Result<LayerGraph, GraphError> {
+    let mut g = GraphBuilder::new(name, dataset);
+    let x = g.input();
+    let (mut cur, mut in_c) = match dataset {
+        Dataset::ImageNet => {
+            let c = g.conv(x, "stem.conv", 64, 7, 2, 3, false)?;
+            let b = g.batchnorm(c, "stem.bn")?;
+            let r = g.relu(b, "stem.relu")?;
+            let p = g.max_pool(r, "stem.maxpool", 3, 2, 1)?;
+            (p, 64u32)
+        }
+        Dataset::Cifar10 => {
+            let c = g.conv(x, "stem.conv", 64, 3, 1, 1, false)?;
+            let b = g.batchnorm(c, "stem.bn")?;
+            let r = g.relu(b, "stem.relu")?;
+            (r, 64u32)
+        }
+    };
+    let widths = [64u32, 128, 256, 512];
+    for (si, (&blocks, &width)) in stages.iter().zip(widths.iter()).enumerate() {
+        for bi in 0..blocks {
+            let stride = if si > 0 && bi == 0 { 2 } else { 1 };
+            let bname = format!("layer{}.{}", si + 1, bi);
+            cur = match kind {
+                BlockKind::Basic => {
+                    let out = basic_block(&mut g, cur, &bname, width, stride, in_c)?;
+                    in_c = width;
+                    out
+                }
+                BlockKind::Bottleneck => {
+                    let out = bottleneck_block(&mut g, cur, &bname, width, stride, in_c)?;
+                    in_c = width * 4;
+                    out
+                }
+            };
+        }
+    }
+    let p = g.global_avg_pool(cur, "gap")?;
+    g.linear(p, "fc", dataset.classes(), true)?;
+    Ok(g.build())
+}
+
+/// Builds a CIFAR-style 6n+2 ResNet (channels 16/32/64) such as
+/// ResNet-110 (`n = 18`).
+fn resnet_cifar_style(name: &str, dataset: Dataset, n: u32) -> Result<LayerGraph, GraphError> {
+    let mut g = GraphBuilder::new(name, dataset);
+    let x = g.input();
+    let c = g.conv(x, "stem.conv", 16, 3, 1, 1, false)?;
+    let b = g.batchnorm(c, "stem.bn")?;
+    let mut cur = g.relu(b, "stem.relu")?;
+    let mut in_c = 16u32;
+    for (si, &width) in [16u32, 32, 64].iter().enumerate() {
+        for bi in 0..n {
+            let stride = if si > 0 && bi == 0 { 2 } else { 1 };
+            let bname = format!("stage{}.{}", si + 1, bi);
+            cur = basic_block(&mut g, cur, &bname, width, stride, in_c)?;
+            in_c = width;
+        }
+    }
+    let p = g.global_avg_pool(cur, "gap")?;
+    g.linear(p, "fc", dataset.classes(), true)?;
+    Ok(g.build())
+}
+
+/// ResNet-18.
+pub fn resnet18(dataset: Dataset) -> Result<LayerGraph, GraphError> {
+    resnet_imagenet_style("resnet18", dataset, BlockKind::Basic, [2, 2, 2, 2])
+}
+
+/// ResNet-34.
+pub fn resnet34(dataset: Dataset) -> Result<LayerGraph, GraphError> {
+    resnet_imagenet_style("resnet34", dataset, BlockKind::Basic, [3, 4, 6, 3])
+}
+
+/// ResNet-50.
+pub fn resnet50(dataset: Dataset) -> Result<LayerGraph, GraphError> {
+    resnet_imagenet_style("resnet50", dataset, BlockKind::Bottleneck, [3, 4, 6, 3])
+}
+
+/// ResNet-101.
+pub fn resnet101(dataset: Dataset) -> Result<LayerGraph, GraphError> {
+    resnet_imagenet_style("resnet101", dataset, BlockKind::Bottleneck, [3, 4, 23, 3])
+}
+
+/// ResNet-20 — the smallest CIFAR 6n+2 network (`n = 3`), used by the
+/// ablation studies.
+pub fn resnet20(dataset: Dataset) -> Result<LayerGraph, GraphError> {
+    resnet_cifar_style("resnet20", dataset, 3)
+}
+
+/// ResNet-56 — the CIFAR 6n+2 network with `n = 9`.
+pub fn resnet56(dataset: Dataset) -> Result<LayerGraph, GraphError> {
+    resnet_cifar_style("resnet56", dataset, 9)
+}
+
+/// ResNet-110 — the CIFAR 6n+2 network with `n = 18`. Table I lists it
+/// under ImageNet; building it with [`Dataset::ImageNet`] keeps the CIFAR
+/// micro-architecture but uses 224x224 inputs and 1000 classes.
+pub fn resnet110(dataset: Dataset) -> Result<LayerGraph, GraphError> {
+    resnet_cifar_style("resnet110", dataset, 18)
+}
+
+/// ResNet-152.
+pub fn resnet152(dataset: Dataset) -> Result<LayerGraph, GraphError> {
+    resnet_imagenet_style("resnet152", dataset, BlockKind::Bottleneck, [3, 8, 36, 3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params_m(g: &LayerGraph) -> f64 {
+        g.total_params() as f64 / 1e6
+    }
+
+    #[test]
+    fn resnet18_imagenet_params_match_torchvision() {
+        let g = resnet18(Dataset::ImageNet).unwrap();
+        let p = params_m(&g);
+        assert!((p - 11.69).abs() < 0.05, "resnet18 params {p}M");
+    }
+
+    #[test]
+    fn resnet34_imagenet_params_match_torchvision() {
+        let g = resnet34(Dataset::ImageNet).unwrap();
+        let p = params_m(&g);
+        assert!((p - 21.80).abs() < 0.05, "resnet34 params {p}M");
+    }
+
+    #[test]
+    fn resnet50_imagenet_params_match_torchvision() {
+        let g = resnet50(Dataset::ImageNet).unwrap();
+        let p = params_m(&g);
+        assert!((p - 25.56).abs() < 0.1, "resnet50 params {p}M");
+    }
+
+    #[test]
+    fn resnet101_imagenet_params_match_torchvision() {
+        let g = resnet101(Dataset::ImageNet).unwrap();
+        let p = params_m(&g);
+        assert!((p - 44.55).abs() < 0.1, "resnet101 params {p}M");
+    }
+
+    #[test]
+    fn resnet152_imagenet_params_match_torchvision() {
+        let g = resnet152(Dataset::ImageNet).unwrap();
+        let p = params_m(&g);
+        assert!((p - 60.19).abs() < 0.15, "resnet152 params {p}M");
+    }
+
+    #[test]
+    fn resnet18_cifar_params_match_table1() {
+        // Table I: ResNet18 on CIFAR-10 = 11.22M; the standard CIFAR
+        // adaptation has 11.17M.
+        let g = resnet18(Dataset::Cifar10).unwrap();
+        let p = params_m(&g);
+        assert!((p - 11.17).abs() < 0.1, "resnet18-cifar params {p}M");
+    }
+
+    #[test]
+    fn resnet34_cifar_params_match_table1() {
+        // Table I: ResNet34 on CIFAR-10 = 21.34M; standard: 21.28M.
+        let g = resnet34(Dataset::Cifar10).unwrap();
+        let p = params_m(&g);
+        assert!((p - 21.28).abs() < 0.1, "resnet34-cifar params {p}M");
+    }
+
+    #[test]
+    fn cifar_6n2_family_scales() {
+        // He et al.: ResNet-20 ~0.27M, ResNet-56 ~0.85M, ResNet-110 ~1.7M.
+        let p20 = params_m(&resnet20(Dataset::Cifar10).unwrap());
+        let p56 = params_m(&resnet56(Dataset::Cifar10).unwrap());
+        let p110 = params_m(&resnet110(Dataset::Cifar10).unwrap());
+        assert!((p20 - 0.27).abs() < 0.05, "resnet20 {p20}M");
+        assert!((p56 - 0.85).abs() < 0.1, "resnet56 {p56}M");
+        assert!(p20 < p56 && p56 < p110);
+    }
+
+    #[test]
+    fn resnet110_cifar_params() {
+        // He et al. report ~1.7M for ResNet-110 on CIFAR.
+        let g = resnet110(Dataset::Cifar10).unwrap();
+        let p = params_m(&g);
+        assert!((p - 1.73).abs() < 0.1, "resnet110 params {p}M");
+    }
+
+    #[test]
+    fn resnet34_skip_traffic_matches_paper_claim() {
+        // Section II: in ResNet-34, linear activations are ~4.5x the skip
+        // activations, and skips are ~19% of the total propagated.
+        let g = resnet34(Dataset::ImageNet).unwrap();
+        let split = g.activation_split();
+        let ratio = split.sequential as f64 / split.skip as f64;
+        assert!(
+            (3.5..=7.0).contains(&ratio),
+            "linear/skip ratio {ratio} out of the paper's ballpark (4.5)"
+        );
+        let frac = split.skip_fraction();
+        assert!(
+            (0.10..=0.25).contains(&frac),
+            "skip fraction {frac} out of the paper's ballpark (0.19)"
+        );
+    }
+
+    #[test]
+    fn resnet_blocks_have_residual_edges() {
+        let g = resnet18(Dataset::ImageNet).unwrap();
+        let skips = g
+            .edges()
+            .iter()
+            .filter(|e| e.kind == crate::graph::EdgeKind::Skip)
+            .count();
+        assert_eq!(skips, 8, "resnet18 has 8 residual joins");
+    }
+
+    #[test]
+    fn deeper_resnets_have_more_layers() {
+        let l18 = resnet18(Dataset::ImageNet).unwrap().weighted_layer_count();
+        let l34 = resnet34(Dataset::ImageNet).unwrap().weighted_layer_count();
+        let l152 = resnet152(Dataset::ImageNet).unwrap().weighted_layer_count();
+        assert!(l18 < l34 && l34 < l152);
+        // 18 conv/fc layers + 3 downsample projections = 21 weighted.
+        assert_eq!(l18, 21);
+    }
+
+    #[test]
+    fn resnet50_output_is_classes() {
+        let g = resnet50(Dataset::ImageNet).unwrap();
+        let last = g.layers().last().unwrap();
+        assert_eq!(last.out_shape.numel(), 1000);
+    }
+}

@@ -1,0 +1,164 @@
+//! VGG family (Simonyan & Zisserman). ImageNet variants follow the
+//! torchvision configuration (three-layer 4096-wide classifier, biased
+//! convs, no batch norm); CIFAR-10 variants follow the common `cifar-vgg`
+//! adaptation (batch-normalized convs, single fully-connected classifier),
+//! which reproduces the ~9.6M / ~20.4M parameter counts of Table I.
+
+use crate::graph::{GraphBuilder, GraphError, LayerGraph};
+use crate::shapes::Dataset;
+
+/// One element of a VGG configuration string: a conv width or a max-pool.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Cfg {
+    C(u32),
+    M,
+}
+
+use Cfg::{C, M};
+
+const VGG11: &[Cfg] = &[
+    C(64),
+    M,
+    C(128),
+    M,
+    C(256),
+    C(256),
+    M,
+    C(512),
+    C(512),
+    M,
+    C(512),
+    C(512),
+    M,
+];
+
+const VGG19: &[Cfg] = &[
+    C(64),
+    C(64),
+    M,
+    C(128),
+    C(128),
+    M,
+    C(256),
+    C(256),
+    C(256),
+    C(256),
+    M,
+    C(512),
+    C(512),
+    C(512),
+    C(512),
+    M,
+    C(512),
+    C(512),
+    C(512),
+    C(512),
+    M,
+];
+
+fn vgg(name: &str, dataset: Dataset, cfg: &[Cfg]) -> Result<LayerGraph, GraphError> {
+    let mut g = GraphBuilder::new(name, dataset);
+    let mut cur = g.input();
+    let mut conv_i = 0;
+    let mut pool_i = 0;
+    let with_bn = dataset == Dataset::Cifar10;
+    for &item in cfg {
+        match item {
+            C(width) => {
+                conv_i += 1;
+                let cname = format!("conv{conv_i}");
+                cur = g.conv(cur, &cname, width, 3, 1, 1, !with_bn)?;
+                if with_bn {
+                    cur = g.batchnorm(cur, &format!("{cname}.bn"))?;
+                }
+                cur = g.relu(cur, &format!("{cname}.relu"))?;
+            }
+            M => {
+                pool_i += 1;
+                cur = g.max_pool(cur, &format!("pool{pool_i}"), 2, 2, 0)?;
+            }
+        }
+    }
+    match dataset {
+        Dataset::ImageNet => {
+            let f1 = g.linear(cur, "classifier.fc1", 4096, true)?;
+            let r1 = g.relu(f1, "classifier.relu1")?;
+            let f2 = g.linear(r1, "classifier.fc2", 4096, true)?;
+            let r2 = g.relu(f2, "classifier.relu2")?;
+            g.linear(r2, "classifier.fc3", dataset.classes(), true)?;
+        }
+        Dataset::Cifar10 => {
+            g.linear(cur, "classifier.fc", dataset.classes(), true)?;
+        }
+    }
+    Ok(g.build())
+}
+
+/// VGG-11 (configuration A).
+pub fn vgg11(dataset: Dataset) -> Result<LayerGraph, GraphError> {
+    vgg("vgg11", dataset, VGG11)
+}
+
+/// VGG-19 (configuration E).
+pub fn vgg19(dataset: Dataset) -> Result<LayerGraph, GraphError> {
+    vgg("vgg19", dataset, VGG19)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params_m(g: &LayerGraph) -> f64 {
+        g.total_params() as f64 / 1e6
+    }
+
+    #[test]
+    fn vgg11_imagenet_params_match_torchvision() {
+        let g = vgg11(Dataset::ImageNet).unwrap();
+        let p = params_m(&g);
+        assert!((p - 132.86).abs() < 0.5, "vgg11 params {p}M");
+    }
+
+    #[test]
+    fn vgg19_imagenet_params_match_torchvision() {
+        let g = vgg19(Dataset::ImageNet).unwrap();
+        let p = params_m(&g);
+        assert!((p - 143.67).abs() < 0.5, "vgg19 params {p}M");
+    }
+
+    #[test]
+    fn vgg11_cifar_params_match_table1() {
+        // Table I: VGG11 on CIFAR-10 = 9.62M; cifar-vgg with BN: ~9.23M.
+        let g = vgg11(Dataset::Cifar10).unwrap();
+        let p = params_m(&g);
+        assert!((9.0..=9.8).contains(&p), "vgg11-cifar params {p}M");
+    }
+
+    #[test]
+    fn vgg19_cifar_params_match_table1() {
+        // Table I: VGG19 on CIFAR-10 = 20.42M; cifar-vgg with BN: ~20.04M.
+        let g = vgg19(Dataset::Cifar10).unwrap();
+        let p = params_m(&g);
+        assert!((19.5..=20.6).contains(&p), "vgg19-cifar params {p}M");
+    }
+
+    #[test]
+    fn vgg_is_purely_linear_dataflow() {
+        // Every edge is sequential: VGG has no skips or dense joins —
+        // the "linear dataflow" archetype of Section I.
+        let g = vgg19(Dataset::ImageNet).unwrap();
+        assert!(g
+            .edges()
+            .iter()
+            .all(|e| e.kind == crate::graph::EdgeKind::Sequential));
+        let split = g.activation_split();
+        assert_eq!(split.skip, 0);
+        assert_eq!(split.dense, 0);
+    }
+
+    #[test]
+    fn vgg19_has_16_convs_and_3_fcs_imagenet() {
+        let g = vgg19(Dataset::ImageNet).unwrap();
+        assert_eq!(g.weighted_layer_count(), 19);
+    }
+}

@@ -1,0 +1,58 @@
+//! Property-based tests of the DNN graph builder and segment compression.
+
+use dnn::{Dataset, GraphBuilder, SegmentGraph};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random conv stacks: parameters, MACs and activations are positive,
+    /// segment compression conserves parameters, and the segment count is
+    /// the weighted-layer count plus the input.
+    #[test]
+    fn random_conv_stacks_compress_consistently(
+        widths in prop::collection::vec(8u32..64, 1..8),
+        with_pool in any::<bool>(),
+    ) {
+        let mut g = GraphBuilder::new("rand", Dataset::Cifar10);
+        let mut cur = g.input();
+        for (i, &w) in widths.iter().enumerate() {
+            cur = g.conv_bn_relu(cur, &format!("c{i}"), w, 3, 1, 1).unwrap();
+            if with_pool && i == 0 {
+                cur = g.max_pool(cur, "pool", 2, 2, 0).unwrap();
+            }
+        }
+        let p = g.global_avg_pool(cur, "gap").unwrap();
+        g.linear(p, "fc", 10, true).unwrap();
+        let net = g.build();
+        prop_assert!(net.total_params() > 0);
+        prop_assert!(net.total_macs() > 0);
+        let sg = SegmentGraph::from_layer_graph(&net);
+        prop_assert_eq!(sg.total_params(), net.total_params());
+        prop_assert_eq!(sg.segment_count(), 1 + net.weighted_layer_count());
+        // A pure chain compresses to sequential edges only.
+        for e in sg.edges() {
+            prop_assert_eq!(e.dst.0, e.src.0 + 1);
+        }
+    }
+
+    /// Residual towers: the skip volume never exceeds the sequential
+    /// volume and every weight matrix multiplies out to the conv size.
+    #[test]
+    fn residual_towers_have_minority_skip_traffic(blocks in 1usize..6) {
+        let mut g = GraphBuilder::new("res", Dataset::Cifar10);
+        let x = g.input();
+        let mut cur = g.conv_bn_relu(x, "stem", 16, 3, 1, 1).unwrap();
+        for i in 0..blocks {
+            let c1 = g.conv_bn_relu(cur, &format!("b{i}.c1"), 16, 3, 1, 1).unwrap();
+            let c2 = g.conv(c1, &format!("b{i}.c2"), 16, 3, 1, 1, false).unwrap();
+            let b = g.batchnorm(c2, &format!("b{i}.bn")).unwrap();
+            let a = g.add(b, cur, &format!("b{i}.add")).unwrap();
+            cur = g.relu(a, &format!("b{i}.relu")).unwrap();
+        }
+        let net = g.build();
+        let split = net.activation_split();
+        prop_assert!(split.skip > 0);
+        prop_assert!(split.sequential > split.skip);
+    }
+}

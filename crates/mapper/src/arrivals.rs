@@ -1,0 +1,303 @@
+//! Event-driven multi-tenant service model: DNN tasks arrive as a Poisson
+//! process, hold their chiplets for an exponential service time, and
+//! depart — the "datacenter-scale scenario" of Section II with real
+//! arrival/departure dynamics instead of the synthetic FIFO churn.
+
+use dnn::SegmentGraph;
+use rand::RngExt;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::placement::{CapacityLedger, TaskId, TaskPlacement};
+use crate::scheduler::Strategy;
+
+/// Arrival-process configuration (times are in abstract service units).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalConfig {
+    /// Mean inter-arrival time (Poisson process).
+    pub mean_interarrival: f64,
+    /// Mean service (residency) time per task, exponential.
+    pub mean_service: f64,
+    /// RNG seed (deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for ArrivalConfig {
+    fn default() -> Self {
+        ArrivalConfig {
+            mean_interarrival: 1.0,
+            mean_service: 8.0,
+            seed: 0xA221,
+        }
+    }
+}
+
+/// Outcome of one arrival-process run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServiceOutcome {
+    /// Placement of every admitted task, in admission order.
+    pub placements: Vec<TaskPlacement>,
+    /// Tasks that could not be mapped even on an empty system.
+    pub failed: Vec<TaskId>,
+    /// Mean admission wait (admission time minus arrival time).
+    pub mean_wait: f64,
+    /// Time-weighted mean number of resident tasks.
+    pub mean_resident: f64,
+    /// Time-weighted chiplet utilization.
+    pub utilization: f64,
+    /// Time at which the last task departed.
+    pub makespan: f64,
+}
+
+fn sample_exp(rng: &mut ChaCha8Rng, mean: f64) -> f64 {
+    let u: f64 = rng.random::<f64>().clamp(1e-12, 1.0 - 1e-12);
+    -mean * (1.0 - u).ln()
+}
+
+/// Runs the arrival process: `tasks` arrive in order at Poisson times and
+/// are admitted FIFO as capacity allows; each resident task departs after
+/// its exponential service time and frees its chiplets.
+///
+/// Placements reflect the fragmented system state at each admission
+/// instant, as in [`crate::run_churn`], but the occupancy dynamics are
+/// driven by the stochastic arrival/service process rather than forced
+/// evictions.
+pub fn run_poisson(
+    tasks: &[SegmentGraph],
+    node_count: usize,
+    capacity: u64,
+    strategy: &Strategy<'_>,
+    cfg: &ArrivalConfig,
+) -> ServiceOutcome {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    // Pre-sample arrival times and service durations for determinism.
+    let mut t = 0.0;
+    let arrivals: Vec<f64> = tasks
+        .iter()
+        .map(|_| {
+            t += sample_exp(&mut rng, cfg.mean_interarrival);
+            t
+        })
+        .collect();
+    let services: Vec<f64> = tasks
+        .iter()
+        .map(|_| sample_exp(&mut rng, cfg.mean_service))
+        .collect();
+
+    let mut ledger = CapacityLedger::new(node_count, capacity);
+    let mut cursor = 0usize;
+    // Departure min-heap: (time, task).
+    let mut departures: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>> =
+        std::collections::BinaryHeap::new();
+    let to_key = |time: f64| (time * 1e9) as u64;
+
+    let mut placements = Vec::new();
+    let mut failed = Vec::new();
+    let mut waits = Vec::new();
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut now = 0.0f64;
+    let mut last_event = 0.0f64;
+    let mut util_integral = 0.0f64;
+    let mut resident_integral = 0.0f64;
+    let mut resident = 0usize;
+    let mut next_arrival = 0usize;
+    let mut admitted_at: Vec<f64> = vec![0.0; tasks.len()];
+
+    let advance = |now: f64, last: &mut f64, ui: &mut f64, ri: &mut f64,
+                       ledger: &CapacityLedger, resident: usize| {
+        let dt = now - *last;
+        *ui += ledger.utilization() * dt;
+        *ri += resident as f64 * dt;
+        *last = now;
+    };
+
+    loop {
+        // Next event: arrival or departure.
+        let arr_t = arrivals.get(next_arrival).copied();
+        let dep_t = departures.peek().map(|r| r.0 .0 as f64 / 1e9);
+        let (event_t, is_arrival) = match (arr_t, dep_t) {
+            (Some(a), Some(d)) => {
+                if a <= d {
+                    (a, true)
+                } else {
+                    (d, false)
+                }
+            }
+            (Some(a), None) => (a, true),
+            (None, Some(d)) => (d, false),
+            (None, None) => break,
+        };
+        now = event_t;
+        advance(now, &mut last_event, &mut util_integral, &mut resident_integral, &ledger, resident);
+
+        if is_arrival {
+            queue.push_back(next_arrival);
+            next_arrival += 1;
+        } else {
+            let std::cmp::Reverse((_, task)) = departures.pop().expect("peeked");
+            ledger.release_task(TaskId(task));
+            resident -= 1;
+        }
+
+        // Admit as many queued tasks as now fit (FIFO).
+        while let Some(&idx) = queue.front() {
+            let task = TaskId(idx as u32);
+            let mapped = match strategy {
+                Strategy::Sfc { order } => {
+                    crate::sfc::map_task_sfc_from(&mut ledger, order, cursor, task, &tasks[idx])
+                        .map(|(tp, next)| {
+                            cursor = next;
+                            tp
+                        })
+                }
+                Strategy::Greedy { topo, apsp, cfg } => crate::greedy::map_task_greedy(
+                    &mut ledger,
+                    topo,
+                    apsp,
+                    task,
+                    &tasks[idx],
+                    cfg,
+                ),
+            };
+            match mapped {
+                Ok(tp) => {
+                    queue.pop_front();
+                    admitted_at[idx] = now;
+                    waits.push(now - arrivals[idx]);
+                    departures.push(std::cmp::Reverse((to_key(now + services[idx]), idx as u32)));
+                    resident += 1;
+                    placements.push(tp);
+                }
+                Err(_) => {
+                    if resident == 0 {
+                        // Unmappable even on an empty system.
+                        queue.pop_front();
+                        failed.push(task);
+                        continue;
+                    }
+                    break; // wait for a departure
+                }
+            }
+        }
+    }
+
+    let makespan = now.max(1e-12);
+    ServiceOutcome {
+        placements,
+        failed,
+        mean_wait: if waits.is_empty() {
+            0.0
+        } else {
+            waits.iter().sum::<f64>() / waits.len() as f64
+        },
+        mean_resident: resident_integral / makespan,
+        utilization: util_integral / makespan,
+        makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn::{build_model, Dataset, ModelKind};
+    use topology::floret;
+
+    fn tasks(n: usize) -> Vec<SegmentGraph> {
+        let g = build_model(ModelKind::ResNet18, Dataset::ImageNet).unwrap();
+        vec![SegmentGraph::from_layer_graph(&g); n]
+    }
+
+    fn sfc_strategy() -> Strategy<'static> {
+        let (_, layout) = floret(10, 10, 6).unwrap();
+        Strategy::sfc(&layout)
+    }
+
+    #[test]
+    fn poisson_serves_every_task() {
+        let out = run_poisson(
+            &tasks(30),
+            100,
+            1_000_000,
+            &sfc_strategy(),
+            &ArrivalConfig::default(),
+        );
+        assert_eq!(out.placements.len(), 30);
+        assert!(out.failed.is_empty());
+        assert!(out.makespan > 0.0);
+        assert!(out.utilization > 0.0 && out.utilization <= 1.0);
+    }
+
+    #[test]
+    fn heavier_load_raises_waits_and_utilization() {
+        let light = ArrivalConfig {
+            mean_interarrival: 4.0,
+            mean_service: 4.0,
+            seed: 3,
+        };
+        let heavy = ArrivalConfig {
+            mean_interarrival: 0.5,
+            mean_service: 8.0,
+            seed: 3,
+        };
+        let t = tasks(40);
+        let s = sfc_strategy();
+        let l = run_poisson(&t, 100, 1_000_000, &s, &light);
+        let h = run_poisson(&t, 100, 1_000_000, &s, &heavy);
+        assert!(h.utilization > l.utilization, "{} vs {}", h.utilization, l.utilization);
+        assert!(h.mean_wait >= l.mean_wait);
+        assert!(h.mean_resident > l.mean_resident);
+    }
+
+    #[test]
+    fn poisson_is_deterministic() {
+        let cfg = ArrivalConfig::default();
+        let t = tasks(15);
+        let s = sfc_strategy();
+        let a = run_poisson(&t, 100, 1_000_000, &s, &cfg);
+        let b = run_poisson(&t, 100, 1_000_000, &s, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn poisson_works_with_greedy_strategy() {
+        let topo = topology::mesh2d(10, 10).unwrap();
+        let strategy = Strategy::greedy(&topo, crate::GreedyConfig::soft());
+        let out = run_poisson(
+            &tasks(20),
+            100,
+            1_000_000,
+            &strategy,
+            &ArrivalConfig::default(),
+        );
+        assert_eq!(out.placements.len(), 20);
+        assert!(out.failed.is_empty());
+    }
+
+    #[test]
+    fn waits_are_nonnegative_and_bounded_by_makespan() {
+        let out = run_poisson(
+            &tasks(25),
+            100,
+            1_000_000,
+            &sfc_strategy(),
+            &ArrivalConfig { mean_interarrival: 0.3, mean_service: 10.0, seed: 42 },
+        );
+        assert!(out.mean_wait >= 0.0);
+        assert!(out.mean_wait < out.makespan);
+        assert!(out.mean_resident <= 100.0);
+    }
+
+    #[test]
+    fn impossible_tasks_fail_cleanly() {
+        let out = run_poisson(
+            &tasks(3),
+            4,
+            1_000, // far below any task's needs
+            &sfc_strategy(),
+            &ArrivalConfig::default(),
+        );
+        assert_eq!(out.placements.len(), 0);
+        assert_eq!(out.failed.len(), 3);
+    }
+}

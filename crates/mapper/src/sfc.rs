@@ -1,0 +1,255 @@
+//! Dataflow-aware SFC mapping: neural layers are assigned to contiguous
+//! chiplets along the Floret global order, spilling over from the tail of
+//! one petal to the head of the next.
+
+use dnn::SegmentGraph;
+use topology::{FloretLayout, NodeId};
+
+use crate::placement::{
+    CapacityLedger, MapError, NodeShare, SegmentPlacement, TaskId, TaskPlacement,
+};
+
+/// Maps one task along the SFC global order using first-fit allocation
+/// over free chiplets (in SFC order), packing consecutive segments into
+/// the same chiplet until its weight capacity is exhausted.
+///
+/// The queue-based discipline of the paper (one task mapped at a time,
+/// tasks never share a chiplet) is enforced through the ledger's
+/// ownership rules, which also gives the deadlock-freedom argument of
+/// Section II: tasks are mutually independent and mapped sequentially.
+///
+/// # Errors
+///
+/// Returns [`MapError::InsufficientCapacity`] when the free capacity
+/// (including chiplets already owned by this task) cannot hold the
+/// remaining weights.
+pub fn map_task_sfc(
+    ledger: &mut CapacityLedger,
+    order: &[NodeId],
+    task: TaskId,
+    sg: &SegmentGraph,
+) -> Result<TaskPlacement, MapError> {
+    map_task_sfc_from(ledger, order, 0, task, sg).map(|(tp, _)| tp)
+}
+
+/// [`map_task_sfc`] with a persistent allocation cursor (next-fit).
+///
+/// Starting each task where the previous one ended turns the curve into a
+/// ring buffer under FIFO task completions: frees accumulate behind the
+/// frontier and every allocation stays contiguous — the dynamic
+/// reassignment behaviour Section II describes. Returns the placement and
+/// the advanced cursor to feed into the next admission.
+///
+/// # Errors
+///
+/// Returns [`MapError::InsufficientCapacity`] when the free capacity
+/// cannot hold the remaining weights.
+pub fn map_task_sfc_from(
+    ledger: &mut CapacityLedger,
+    order: &[NodeId],
+    start_cursor: usize,
+    task: TaskId,
+    sg: &SegmentGraph,
+) -> Result<(TaskPlacement, usize), MapError> {
+    let needed: u64 = sg.segments().iter().map(|s| s.params).sum();
+    let available = ledger.total_available_to(task);
+    if needed > available {
+        return Err(MapError::InsufficientCapacity { needed, available });
+    }
+
+    let n = order.len();
+    let mut segments = Vec::with_capacity(sg.segment_count());
+    // Cursor over the SFC order; holds position across segments so that
+    // consecutive segments land on the same or the next chiplet. `steps`
+    // bounds the scan to one full loop around the ring.
+    let mut cursor = start_cursor % n.max(1);
+    let mut steps = 0usize;
+    for seg in sg.segments() {
+        let mut shares: Vec<NodeShare> = Vec::new();
+        let mut remaining = seg.params;
+        while remaining > 0 {
+            // Advance to a chiplet this task can still use, wrapping at
+            // most once around the curve.
+            while steps < n && !ledger.available_to(order[cursor % n], task) {
+                cursor += 1;
+                steps += 1;
+            }
+            if steps >= n {
+                return Err(MapError::InsufficientCapacity {
+                    needed: remaining,
+                    available: 0,
+                });
+            }
+            let node = order[cursor % n];
+            let got = ledger.take(node, task, remaining);
+            debug_assert!(got > 0);
+            remaining -= got;
+            shares.push(NodeShare {
+                node,
+                weights: got,
+            });
+            if ledger.free_on(node) == 0 {
+                cursor += 1;
+                steps += 1;
+            }
+        }
+        segments.push(SegmentPlacement {
+            segment: seg.id,
+            shares,
+        });
+    }
+    Ok((
+        TaskPlacement {
+            task,
+            model: sg.name().to_string(),
+            segments,
+        },
+        cursor % n,
+    ))
+}
+
+/// Convenience: the SFC order of a Floret layout.
+pub fn sfc_order(layout: &FloretLayout) -> Vec<NodeId> {
+    layout.global_order()
+}
+
+/// Mean SFC-order distance between the chiplets of consecutive segments —
+/// a contiguity diagnostic (0 means every transition stays on-chiplet or
+/// moves to the next chiplet along the curve).
+pub fn contiguity_score(tp: &TaskPlacement, order: &[NodeId]) -> f64 {
+    let pos: std::collections::HashMap<NodeId, usize> =
+        order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let mut total = 0i64;
+    let mut count = 0i64;
+    for pair in tp.segments.windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        let (Some(la), Some(fb)) = (a.shares.last(), b.shares.first()) else {
+            continue;
+        };
+        let pa = pos[&la.node] as i64;
+        let pb = pos[&fb.node] as i64;
+        total += (pb - pa).abs().max(1) - 1;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total as f64 / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn::{build_model, Dataset, ModelKind};
+    use topology::floret;
+
+    fn ledger100(capacity: u64) -> (CapacityLedger, Vec<NodeId>) {
+        let (_, layout) = floret(10, 10, 6).unwrap();
+        let order = sfc_order(&layout);
+        (CapacityLedger::new(100, capacity), order)
+    }
+
+    fn resnet18() -> SegmentGraph {
+        SegmentGraph::from_layer_graph(
+            &build_model(ModelKind::ResNet18, Dataset::ImageNet).unwrap(),
+        )
+    }
+
+    #[test]
+    fn sfc_mapping_is_contiguous() {
+        let (mut led, order) = ledger100(2_000_000);
+        let sg = resnet18();
+        let tp = map_task_sfc(&mut led, &order, TaskId(0), &sg).unwrap();
+        // ~11.7M weights over 2M/chiplet -> 6 chiplets...
+        let used = tp.used_nodes();
+        assert!(used.len() >= 6, "expected multi-chiplet task, used {}", used.len());
+        // ...and they must be exactly the first chiplets of the SFC order.
+        let expect: Vec<NodeId> = order[..used.len()].to_vec();
+        let mut sorted_expect = expect.clone();
+        sorted_expect.sort_unstable();
+        assert_eq!(used, sorted_expect);
+        // Perfect contiguity along the fresh curve.
+        assert_eq!(contiguity_score(&tp, &order), 0.0);
+    }
+
+    #[test]
+    fn successive_tasks_pack_back_to_back() {
+        let (mut led, order) = ledger100(2_000_000);
+        let sg = resnet18();
+        let t0 = map_task_sfc(&mut led, &order, TaskId(0), &sg).unwrap();
+        let t1 = map_task_sfc(&mut led, &order, TaskId(1), &sg).unwrap();
+        let n0 = t0.used_nodes();
+        let n1 = t1.used_nodes();
+        assert!(n0.iter().all(|n| !n1.contains(n)), "tasks never share chiplets");
+        // Task 1 continues where task 0 stopped (possibly sharing boundary
+        // chiplet is forbidden, so it starts at the next free one).
+        let pos: std::collections::HashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let max0 = n0.iter().map(|n| pos[n]).max().unwrap();
+        let min1 = n1.iter().map(|n| pos[n]).min().unwrap();
+        assert!(min1 > max0);
+    }
+
+    #[test]
+    fn capacity_exhaustion_is_reported() {
+        let (mut led, order) = ledger100(10_000); // tiny chiplets
+        let sg = resnet18();
+        let err = map_task_sfc(&mut led, &order, TaskId(0), &sg).unwrap_err();
+        assert!(matches!(err, MapError::InsufficientCapacity { .. }));
+    }
+
+    #[test]
+    fn released_chiplets_are_reused() {
+        let (mut led, order) = ledger100(2_000_000);
+        let sg = resnet18();
+        let t0 = map_task_sfc(&mut led, &order, TaskId(0), &sg).unwrap();
+        let used_before = led.used_nodes();
+        led.release_task(TaskId(0));
+        let t1 = map_task_sfc(&mut led, &order, TaskId(1), &sg).unwrap();
+        assert_eq!(t0.used_nodes(), t1.used_nodes(), "freed chiplets reassigned");
+        assert_eq!(led.used_nodes(), used_before);
+    }
+
+    #[test]
+    fn weights_are_conserved() {
+        let (mut led, order) = ledger100(2_000_000);
+        let sg = resnet18();
+        let tp = map_task_sfc(&mut led, &order, TaskId(0), &sg).unwrap();
+        for (seg, sp) in sg.segments().iter().zip(&tp.segments) {
+            assert_eq!(sp.total_weights(), seg.params, "{}", seg.name);
+        }
+    }
+
+    #[test]
+    fn sfc_restitches_around_failed_chiplets() {
+        // Kill a few chiplets mid-curve; the mapping must skip them and
+        // still conserve every weight.
+        let (mut led, order) = ledger100(2_000_000);
+        for &dead in &[order[2], order[3], order[10]] {
+            led.mark_failed(dead);
+        }
+        let sg = resnet18();
+        let tp = map_task_sfc(&mut led, &order, TaskId(0), &sg).unwrap();
+        let used = tp.used_nodes();
+        assert!(!used.contains(&order[2]));
+        assert!(!used.contains(&order[3]));
+        assert!(!used.contains(&order[10]));
+        for (seg, sp) in sg.segments().iter().zip(&tp.segments) {
+            assert_eq!(sp.total_weights(), seg.params, "{}", seg.name);
+        }
+    }
+
+    #[test]
+    fn spillover_wraps_to_freed_holes() {
+        // Fill the system with small tasks, free one in the middle, then
+        // map a task that must use the freed hole.
+        let (mut led, order) = ledger100(200_000);
+        let sg = resnet18(); // 11.7M weights -> ~59 chiplets
+        let t0 = map_task_sfc(&mut led, &order, TaskId(0), &sg).unwrap();
+        assert!(map_task_sfc(&mut led, &order, TaskId(1), &sg).is_err());
+        led.release_task(TaskId(0));
+        let t2 = map_task_sfc(&mut led, &order, TaskId(2), &sg).unwrap();
+        assert_eq!(t0.used_nodes(), t2.used_nodes());
+    }
+}

@@ -1,0 +1,176 @@
+//! Conversion of placements into inter-chiplet transfer descriptors — the
+//! traffic that the network simulator replays.
+
+use std::collections::BTreeMap;
+
+use dnn::SegmentGraph;
+use serde::{Deserialize, Serialize};
+use topology::NodeId;
+
+use crate::placement::{TaskId, TaskPlacement};
+use crate::scheduler::Wave;
+
+/// One aggregated point-to-point transfer per inference pass.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Transfer {
+    /// Source chiplet.
+    pub src: NodeId,
+    /// Destination chiplet.
+    pub dst: NodeId,
+    /// Payload bytes per inference.
+    pub bytes: u64,
+    /// Owning task (for per-task accounting).
+    pub task: TaskId,
+}
+
+/// Expands a task placement into inter-chiplet transfers.
+///
+/// For every segment edge, the activation tensor is treated as spatially
+/// partitioned across the chiplet shares of each side in share order
+/// (standard tiled PIM inference): source share `k` owns the slice
+/// `[a_k, b_k)` of the tensor (proportional to its weight fraction) and
+/// sends each destination share the overlap of their slices. The aligned
+/// slices keep transfers between *corresponding* chiplets, preserving the
+/// total volume exactly.
+///
+/// Same-chiplet transfers cost nothing on the NoI and are dropped, as are
+/// edges from the parameter-free input segment (input frames stream from
+/// off-chip I/O, not across the NoI).
+pub fn placement_transfers(
+    tp: &TaskPlacement,
+    sg: &SegmentGraph,
+    bytes_per_element: u64,
+) -> Vec<Transfer> {
+    let mut acc: BTreeMap<(NodeId, NodeId), u64> = BTreeMap::new();
+    for e in sg.edges() {
+        let src_place = &tp.segments[e.src.index()];
+        let dst_place = &tp.segments[e.dst.index()];
+        if src_place.shares.is_empty() || dst_place.shares.is_empty() {
+            continue;
+        }
+        let vol = (e.volume * bytes_per_element) as f64;
+        let src_total: u64 = src_place.total_weights();
+        let dst_total: u64 = dst_place.total_weights();
+        if src_total == 0 || dst_total == 0 {
+            continue;
+        }
+        // Cumulative slice boundaries over [0, 1).
+        let mut a0 = 0.0f64;
+        let mut dst_iter = dst_place.shares.iter();
+        let mut dst_cur = dst_iter.next().expect("non-empty dst");
+        let mut c0 = 0.0f64;
+        let mut c1 = dst_cur.weights as f64 / dst_total as f64;
+        for a in &src_place.shares {
+            let a1 = a0 + a.weights as f64 / src_total as f64;
+            // Advance destination slices overlapping [a0, a1).
+            loop {
+                let overlap = (a1.min(c1) - a0.max(c0)).max(0.0);
+                if overlap > 0.0 && a.node != dst_cur.node {
+                    let bytes = (vol * overlap).round() as u64;
+                    if bytes > 0 {
+                        *acc.entry((a.node, dst_cur.node)).or_insert(0) += bytes;
+                    }
+                }
+                if c1 < a1 {
+                    match dst_iter.next() {
+                        Some(next) => {
+                            dst_cur = next;
+                            c0 = c1;
+                            c1 += dst_cur.weights as f64 / dst_total as f64;
+                        }
+                        None => break,
+                    }
+                } else {
+                    break;
+                }
+            }
+            a0 = a1;
+        }
+    }
+    acc.into_iter()
+        .map(|((src, dst), bytes)| Transfer {
+            src,
+            dst,
+            bytes,
+            task: tp.task,
+        })
+        .collect()
+}
+
+/// Expands every placement of a wave; `graphs[task.index()]` must be the
+/// segment graph the task was mapped from.
+pub fn wave_transfers(
+    wave: &Wave,
+    graphs: &[SegmentGraph],
+    bytes_per_element: u64,
+) -> Vec<Transfer> {
+    wave.placements
+        .iter()
+        .flat_map(|tp| placement_transfers(tp, &graphs[tp.task.index()], bytes_per_element))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::CapacityLedger;
+    use crate::sfc::map_task_sfc;
+    use dnn::{build_model, Dataset, ModelKind};
+    use topology::floret;
+
+    fn mapped_resnet18(capacity: u64) -> (TaskPlacement, SegmentGraph) {
+        let g = build_model(ModelKind::ResNet18, Dataset::ImageNet).unwrap();
+        let sg = SegmentGraph::from_layer_graph(&g);
+        let (_, layout) = floret(10, 10, 6).unwrap();
+        let order = layout.global_order();
+        let mut led = CapacityLedger::new(100, capacity);
+        let tp = map_task_sfc(&mut led, &order, TaskId(0), &sg).unwrap();
+        (tp, sg)
+    }
+
+    #[test]
+    fn transfers_exist_for_multi_chiplet_tasks() {
+        let (tp, sg) = mapped_resnet18(1_000_000);
+        let ts = placement_transfers(&tp, &sg, 1);
+        assert!(!ts.is_empty());
+        assert!(ts.iter().all(|t| t.src != t.dst));
+        assert!(ts.iter().all(|t| t.bytes > 0));
+    }
+
+    #[test]
+    fn single_chiplet_task_has_no_noi_traffic() {
+        // Capacity large enough for the whole model on one chiplet.
+        let (tp, sg) = mapped_resnet18(20_000_000);
+        assert_eq!(tp.used_nodes().len(), 1);
+        let ts = placement_transfers(&tp, &sg, 1);
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn transfer_volume_scales_with_bytes_per_element() {
+        let (tp, sg) = mapped_resnet18(1_000_000);
+        let t1: u64 = placement_transfers(&tp, &sg, 1).iter().map(|t| t.bytes).sum();
+        let t2: u64 = placement_transfers(&tp, &sg, 2).iter().map(|t| t.bytes).sum();
+        let ratio = t2 as f64 / t1 as f64;
+        assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn transfer_volume_bounded_by_edge_volume() {
+        let (tp, sg) = mapped_resnet18(1_000_000);
+        let total: u64 = placement_transfers(&tp, &sg, 1).iter().map(|t| t.bytes).sum();
+        let upper: u64 = sg.edges().iter().map(|e| e.volume).sum();
+        assert!(total <= upper + sg.edges().len() as u64, "{total} > {upper}");
+    }
+
+    #[test]
+    fn transfers_are_deduplicated() {
+        let (tp, sg) = mapped_resnet18(1_000_000);
+        let ts = placement_transfers(&tp, &sg, 1);
+        let mut pairs: Vec<(NodeId, NodeId)> = ts.iter().map(|t| (t.src, t.dst)).collect();
+        let len = pairs.len();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), len);
+    }
+}

@@ -1,0 +1,328 @@
+//! Packet-level discrete-event simulator with virtual cut-through
+//! switching.
+//!
+//! Flows are segmented into packets; every directed link channel and every
+//! source network interface is a FIFO resource. A packet occupies each
+//! channel on its path for its serialization time; the header advances one
+//! hop per `router_pipeline + wire` delay and the payload streams behind
+//! it (cut-through). Contention appears as busy channels that delay the
+//! header. The simulation is event-driven and fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+use topology::{HwParams, LinkId, NodeId, Topology};
+
+use crate::flow::Flow;
+use crate::routing::RouteTable;
+
+/// Simulator knobs.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Maximum packet payload in bytes; flows are segmented into packets
+    /// of this size.
+    pub packet_bytes: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { packet_bytes: 1024 }
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Cycle at which the last packet was delivered.
+    pub makespan_cycles: u64,
+    /// Mean packet latency (injection queueing included), cycles.
+    pub mean_packet_latency_cycles: f64,
+    /// 95th-percentile packet latency, cycles.
+    pub p95_packet_latency_cycles: u64,
+    /// Packets delivered.
+    pub packets: u64,
+    /// Total flits moved across links.
+    pub flit_hops: u64,
+    /// Interconnect energy, pJ (path-based, identical accounting to the
+    /// analytical model).
+    pub total_energy_pj: f64,
+}
+
+#[derive(PartialEq, Eq)]
+struct Event {
+    time: u64,
+    seq: u32, // packet id, deterministic tie-break
+    hop: u16, // next channel index within the packet's path
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap: earliest time first, then packet id, then hop.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+            .then_with(|| other.hop.cmp(&self.hop))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A packet's route: the NI channel then directed link channels.
+struct Packet {
+    channels: Vec<u32>,
+    hop_delay: Vec<u64>, // header delay for each channel traversal
+    ser_cycles: u64,
+    delivered_at: u64,
+}
+
+/// Runs the simulator on `flows` over `topo`.
+///
+/// All packets are created at cycle 0 (one inference burst); injection
+/// serialization at the source NI provides natural pacing. Returns
+/// aggregate latency/energy statistics.
+///
+/// # Panics
+///
+/// Panics if a flow references a node outside the topology.
+pub fn simulate(topo: &Topology, hw: &HwParams, flows: &[Flow], cfg: &SimConfig) -> SimReport {
+    let rt = RouteTable::build(topo, hw);
+    simulate_with_table(topo, hw, flows, cfg, &rt)
+}
+
+/// [`simulate`] with a prebuilt routing table.
+pub fn simulate_with_table(
+    topo: &Topology,
+    hw: &HwParams,
+    flows: &[Flow],
+    cfg: &SimConfig,
+    rt: &RouteTable,
+) -> SimReport {
+    assert!(cfg.packet_bytes > 0, "packet size must be positive");
+    let n_links = topo.link_count();
+    // Channel layout: [0, n_links) = link forward (a->b), [n_links,
+    // 2*n_links) = link backward, [2*n_links, 2*n_links + nodes) = NIs.
+    let ni_base = 2 * n_links;
+    let mut busy_until = vec![0u64; ni_base + topo.node_count()];
+
+    let channel_of = |lid: LinkId, from: NodeId| -> u32 {
+        let link = topo.link(lid);
+        if link.a == from {
+            lid.0
+        } else {
+            lid.0 + n_links as u32
+        }
+    };
+
+    // Build packets.
+    let mut packets: Vec<Packet> = Vec::new();
+    let mut energy_pj = 0.0f64;
+    let mut flit_hops = 0u64;
+    for f in flows {
+        if f.src == f.dst || f.bytes == 0 {
+            continue;
+        }
+        let path = rt.path(topo, f.src, f.dst);
+        let mut remaining = f.bytes;
+        while remaining > 0 {
+            let size = remaining.min(cfg.packet_bytes as u64);
+            remaining -= size;
+            let flits = size.div_ceil(hw.flit_bytes as u64).max(1);
+            let bits = size * 8;
+            let mut channels = Vec::with_capacity(path.len() + 1);
+            let mut hop_delay = Vec::with_capacity(path.len() + 1);
+            // NI injection: router pipeline to enter the network.
+            channels.push(ni_base as u32 + f.src.0);
+            hop_delay.push(hw.router_pipeline_cycles as u64);
+            let mut at = f.src;
+            for lid in &path {
+                let link = topo.link(*lid);
+                channels.push(channel_of(*lid, at));
+                hop_delay.push(hw.hop_cycles(link.length_hops));
+                energy_pj += hw.hop_energy_pj(bits, topo.ports(at), link.length_hops);
+                flit_hops += flits;
+                at = link.opposite(at);
+            }
+            energy_pj += bits as f64 * hw.router_energy_pj_per_bit(topo.ports(f.dst));
+            packets.push(Packet {
+                channels,
+                hop_delay,
+                ser_cycles: flits,
+                delivered_at: 0,
+            });
+        }
+    }
+
+    // Event loop.
+    let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+    let mut head_time: Vec<u64> = vec![0; packets.len()];
+    for seq in 0..packets.len() {
+        heap.push(Event {
+            time: 0,
+            seq: seq as u32,
+            hop: 0,
+        });
+    }
+    let mut delivered = 0usize;
+    while let Some(ev) = heap.pop() {
+        let p = &mut packets[ev.seq as usize];
+        let hop = ev.hop as usize;
+        if hop >= p.channels.len() {
+            // Tail drains one serialization window after the header lands.
+            p.delivered_at = ev.time + p.ser_cycles;
+            delivered += 1;
+            continue;
+        }
+        let ch = p.channels[hop] as usize;
+        if busy_until[ch] > ev.time {
+            // Channel occupied: retry when it frees (FIFO by heap order).
+            heap.push(Event {
+                time: busy_until[ch],
+                seq: ev.seq,
+                hop: ev.hop,
+            });
+            continue;
+        }
+        // Acquire the channel for the full serialization window.
+        busy_until[ch] = ev.time + p.ser_cycles;
+        let header_arrives = ev.time + p.hop_delay[hop];
+        head_time[ev.seq as usize] = header_arrives;
+        heap.push(Event {
+            time: header_arrives,
+            seq: ev.seq,
+            hop: ev.hop + 1,
+        });
+    }
+    debug_assert_eq!(delivered, packets.len());
+
+    let mut latencies: Vec<u64> = packets.iter().map(|p| p.delivered_at).collect();
+    latencies.sort_unstable();
+    let makespan = latencies.last().copied().unwrap_or(0);
+    let mean = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
+    };
+    let p95 = if latencies.is_empty() {
+        0
+    } else {
+        latencies[((latencies.len() - 1) as f64 * 0.95) as usize]
+    };
+    SimReport {
+        makespan_cycles: makespan,
+        mean_packet_latency_cycles: mean,
+        p95_packet_latency_cycles: p95,
+        packets: latencies.len() as u64,
+        flit_hops,
+        total_energy_pj: energy_pj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytical::analyze;
+    use topology::{mesh2d, Coord};
+
+    fn mesh5() -> Topology {
+        mesh2d(5, 5).unwrap()
+    }
+
+    #[test]
+    fn single_packet_matches_hand_count() {
+        let topo = mesh5();
+        let hw = HwParams::default();
+        let src = topo.node_at(Coord::new2(0, 0)).unwrap();
+        let dst = topo.node_at(Coord::new2(2, 0)).unwrap();
+        let rep = simulate(
+            &topo,
+            &hw,
+            &[Flow::new(src, dst, 64)],
+            &SimConfig::default(),
+        );
+        // NI (4 cycles) + 2 hops x 5 cycles + 2 flits tail.
+        assert_eq!(rep.makespan_cycles, 4 + 10 + 2);
+        assert_eq!(rep.packets, 1);
+    }
+
+    #[test]
+    fn contention_delays_packets() {
+        let topo = mesh5();
+        let hw = HwParams::default();
+        let src = topo.node_at(Coord::new2(0, 0)).unwrap();
+        let dst = topo.node_at(Coord::new2(4, 4)).unwrap();
+        let one = simulate(&topo, &hw, &[Flow::new(src, dst, 1024)], &SimConfig::default());
+        let flows: Vec<Flow> = (0..8).map(|_| Flow::new(src, dst, 1024)).collect();
+        let many = simulate(&topo, &hw, &flows, &SimConfig::default());
+        assert!(many.makespan_cycles > one.makespan_cycles);
+        assert!(many.mean_packet_latency_cycles > one.mean_packet_latency_cycles);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let topo = mesh5();
+        let hw = HwParams::default();
+        let flows: Vec<Flow> = (0..20)
+            .map(|i| Flow::new(NodeId(i % 25), NodeId((i * 7 + 3) % 25), 500 + i as u64 * 37))
+            .collect();
+        let a = simulate(&topo, &hw, &flows, &SimConfig::default());
+        let b = simulate(&topo, &hw, &flows, &SimConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn des_energy_matches_analytical() {
+        // Both models use identical path-energy accounting.
+        let topo = mesh5();
+        let hw = HwParams::default();
+        let flows: Vec<Flow> = (0..10)
+            .map(|i| Flow::new(NodeId(i), NodeId(24 - i), 2048))
+            .collect();
+        let des = simulate(&topo, &hw, &flows, &SimConfig::default());
+        let ana = analyze(&topo, &hw, &flows);
+        assert!((des.total_energy_pj - ana.total_energy_pj).abs() / ana.total_energy_pj < 1e-9);
+    }
+
+    #[test]
+    fn des_never_beats_analytical_bound() {
+        let topo = mesh5();
+        let hw = HwParams::default();
+        let flows: Vec<Flow> = (0..30)
+            .map(|i| Flow::new(NodeId((i * 3) % 25), NodeId((i * 11 + 5) % 25), 4096))
+            .collect();
+        let des = simulate(&topo, &hw, &flows, &SimConfig::default());
+        let ana = analyze(&topo, &hw, &flows);
+        assert!(
+            des.makespan_cycles >= ana.makespan_cycles,
+            "DES {} cannot beat the analytical lower bound {}",
+            des.makespan_cycles,
+            ana.makespan_cycles
+        );
+    }
+
+    #[test]
+    fn packet_segmentation() {
+        let topo = mesh5();
+        let hw = HwParams::default();
+        let rep = simulate(
+            &topo,
+            &hw,
+            &[Flow::new(NodeId(0), NodeId(1), 5000)],
+            &SimConfig { packet_bytes: 1024 },
+        );
+        assert_eq!(rep.packets, 5);
+    }
+
+    #[test]
+    fn empty_flows_ok() {
+        let topo = mesh5();
+        let rep = simulate(&topo, &HwParams::default(), &[], &SimConfig::default());
+        assert_eq!(rep.makespan_cycles, 0);
+        assert_eq!(rep.packets, 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Deterministic latency-aware shortest-path routing tables.
+
+use topology::{HwParams, Link, LinkId, NodeId, Topology};
+
+/// Precomputed routing: for every (current node, destination) pair, the
+/// link to take next. Built from per-destination Dijkstra over the
+/// latency cost of each link (router pipeline + wire delay), so long Kite
+/// or SWAP links are charged their real wire length.
+#[derive(Clone, Debug)]
+pub struct RouteTable {
+    next: Vec<Vec<Option<LinkId>>>, // [dst][node] -> link toward dst
+}
+
+impl RouteTable {
+    /// Builds the table for a topology under a hardware model.
+    pub fn build(topo: &Topology, hw: &HwParams) -> RouteTable {
+        let cost = |l: &Link| hw.hop_cycles(l.length_hops) as f64;
+        let n = topo.node_count();
+        let mut next = vec![vec![None; n]; n];
+        for dst in 0..n {
+            let res = topo.dijkstra(NodeId(dst as u32), cost);
+            // res[v] = (cost, parent link toward dst on the shortest-path
+            // tree rooted at dst); the parent link IS the next hop from v.
+            for (v, entry) in res.iter().enumerate() {
+                next[dst][v] = entry.1;
+            }
+        }
+        RouteTable { next }
+    }
+
+    /// The link to take from `at` toward `dst`, or `None` when `at == dst`.
+    pub fn next_link(&self, at: NodeId, dst: NodeId) -> Option<LinkId> {
+        self.next[dst.index()][at.index()]
+    }
+
+    /// Full path from `src` to `dst` as a link sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology was disconnected (cannot happen for
+    /// builder-validated topologies).
+    pub fn path(&self, topo: &Topology, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+        let mut links = Vec::new();
+        let mut at = src;
+        while at != dst {
+            let lid = self
+                .next_link(at, dst)
+                .expect("connected topology always routes");
+            links.push(lid);
+            at = topo.link(lid).opposite(at);
+            debug_assert!(links.len() <= topo.node_count(), "routing loop");
+        }
+        links
+    }
+
+    /// Hop count (links traversed) from `src` to `dst`.
+    pub fn hops(&self, topo: &Topology, src: NodeId, dst: NodeId) -> usize {
+        self.path(topo, src, dst).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::{floret, kite, mesh2d};
+
+    #[test]
+    fn mesh_routes_are_manhattan() {
+        let topo = mesh2d(5, 5).unwrap();
+        let hw = HwParams::default();
+        let rt = RouteTable::build(&topo, &hw);
+        let src = topo.node_at(topology::Coord::new2(0, 0)).unwrap();
+        let dst = topo.node_at(topology::Coord::new2(4, 3)).unwrap();
+        assert_eq!(rt.hops(&topo, src, dst), 7);
+        assert!(rt.next_link(dst, dst).is_none());
+    }
+
+    #[test]
+    fn paths_terminate_everywhere() {
+        for topo in [
+            mesh2d(6, 6).unwrap(),
+            kite(6, 6).unwrap(),
+            floret(6, 6, 4).unwrap().0,
+        ] {
+            let rt = RouteTable::build(&topo, &HwParams::default());
+            for s in 0..topo.node_count() {
+                for d in 0..topo.node_count() {
+                    let p = rt.path(&topo, NodeId(s as u32), NodeId(d as u32));
+                    if s == d {
+                        assert!(p.is_empty());
+                    } else {
+                        assert!(!p.is_empty());
+                        // Path must actually end at d.
+                        let mut at = NodeId(s as u32);
+                        for lid in &p {
+                            at = topo.link(*lid).opposite(at);
+                        }
+                        assert_eq!(at, NodeId(d as u32));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kite_prefers_cheap_paths() {
+        // Route cost on Kite accounts for 2-hop wire lengths; a route's
+        // total latency must never beat the Dijkstra cost bound.
+        let topo = kite(8, 8).unwrap();
+        let hw = HwParams::default();
+        let rt = RouteTable::build(&topo, &hw);
+        let src = NodeId(0);
+        let dst = NodeId(63);
+        let path = rt.path(&topo, src, dst);
+        let cost: u64 = path
+            .iter()
+            .map(|l| hw.hop_cycles(topo.link(*l).length_hops))
+            .sum();
+        let best = topo.dijkstra(src, |l| hw.hop_cycles(l.length_hops) as f64)[dst.index()].0;
+        assert!((cost as f64 - best).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,47 @@
+//! Multi-objective optimization for joint performance-thermal placement
+//! (Section III of the paper).
+//!
+//! Provides a generic [`Problem`] abstraction over candidate solutions,
+//! a weighted-sum [`simulated_annealing`] solver (used for the "joint
+//! performance-thermal optimized NoC" design point of Figs. 6-7) and a
+//! mutation-based NSGA-II ([`nsga2`]) that exposes the whole
+//! EDP-vs-peak-temperature Pareto front for the ablation benches.
+//!
+//! All solvers are deterministic for a fixed seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use opt::{simulated_annealing, Problem, SaConfig};
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! struct Line;
+//! impl Problem for Line {
+//!     type Solution = f64;
+//!     fn random_solution(&self, rng: &mut ChaCha8Rng) -> f64 {
+//!         use rand::RngExt;
+//!         rng.random_range(-10.0..10.0)
+//!     }
+//!     fn neighbor(&self, s: &f64, rng: &mut ChaCha8Rng) -> f64 {
+//!         use rand::RngExt;
+//!         s + rng.random_range(-1.0..1.0)
+//!     }
+//!     fn objectives(&self, s: &f64) -> Vec<f64> {
+//!         vec![(s - 3.0).abs()]
+//!     }
+//! }
+//!
+//! let res = simulated_annealing(&Line, &SaConfig { iterations: 20_000, ..SaConfig::default() });
+//! assert!((res.solution - 3.0).abs() < 0.5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod nsga2;
+mod problem;
+mod sa;
+
+pub use nsga2::{crowding_distance, non_dominated_sort, nsga2, FrontPoint, NsgaConfig};
+pub use problem::{dominates, permutation, Problem};
+pub use sa::{simulated_annealing, SaConfig, SaResult};

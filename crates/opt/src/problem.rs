@@ -1,0 +1,117 @@
+//! The optimization problem abstraction shared by the SA and NSGA-II
+//! solvers, plus permutation helpers for placement problems.
+
+use rand::seq::SliceRandom;
+use rand::RngExt;
+use rand_chacha::ChaCha8Rng;
+
+/// A multi-objective minimization problem over solutions of type
+/// [`Problem::Solution`].
+pub trait Problem {
+    /// Candidate solution representation.
+    type Solution: Clone;
+
+    /// Samples a random feasible solution.
+    fn random_solution(&self, rng: &mut ChaCha8Rng) -> Self::Solution;
+
+    /// Produces a neighboring solution (small mutation).
+    fn neighbor(&self, s: &Self::Solution, rng: &mut ChaCha8Rng) -> Self::Solution;
+
+    /// Evaluates the objective vector (all objectives are minimized).
+    fn objectives(&self, s: &Self::Solution) -> Vec<f64>;
+}
+
+/// Whether objective vector `a` Pareto-dominates `b` (no worse in every
+/// objective, strictly better in at least one; minimization).
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly_better = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Permutation utilities for placement-style solution encodings.
+pub mod permutation {
+    use super::*;
+
+    /// A uniformly random permutation of `0..n`.
+    pub fn random(n: usize, rng: &mut ChaCha8Rng) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        p.shuffle(rng);
+        p
+    }
+
+    /// Swap-mutation: exchanges two random positions.
+    pub fn swap_mutate(p: &[usize], rng: &mut ChaCha8Rng) -> Vec<usize> {
+        let mut out = p.to_vec();
+        if out.len() >= 2 {
+            let i = rng.random_range(0..out.len());
+            let j = rng.random_range(0..out.len());
+            out.swap(i, j);
+        }
+        out
+    }
+
+    /// Segment-reversal mutation (2-opt move), which preserves locality
+    /// better than random swaps for chain-like placements.
+    pub fn reverse_mutate(p: &[usize], rng: &mut ChaCha8Rng) -> Vec<usize> {
+        let mut out = p.to_vec();
+        if out.len() >= 2 {
+            let mut i = rng.random_range(0..out.len());
+            let mut j = rng.random_range(0..out.len());
+            if i > j {
+                std::mem::swap(&mut i, &mut j);
+            }
+            out[i..=j].reverse();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dominance_rules() {
+        assert!(dominates(&[1.0, 2.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0]));
+        assert!(!dominates(&[2.0, 2.0], &[2.0, 2.0]), "equal does not dominate");
+    }
+
+    #[test]
+    fn permutations_are_valid() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for n in [0usize, 1, 5, 20] {
+            let p = permutation::random(n, &mut rng);
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn mutations_preserve_permutation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let p = permutation::random(12, &mut rng);
+        for _ in 0..50 {
+            for q in [
+                permutation::swap_mutate(&p, &mut rng),
+                permutation::reverse_mutate(&p, &mut rng),
+            ] {
+                let mut sorted = q.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, (0..12).collect::<Vec<_>>());
+            }
+        }
+    }
+}

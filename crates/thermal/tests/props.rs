@@ -1,0 +1,71 @@
+//! Property-based tests of the thermal solver's physical invariants.
+
+use proptest::prelude::*;
+use thermal::{solve, PowerMap, ThermalConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Superposition: the temperature rise of the sum of two power maps
+    /// equals the sum of the rises (the system is linear).
+    #[test]
+    fn solver_is_linear(
+        x1 in 0u16..4, y1 in 0u16..4, p1 in 0.1f64..3.0,
+        x2 in 0u16..4, y2 in 0u16..4, p2 in 0.1f64..3.0,
+    ) {
+        let cfg = ThermalConfig::m3d();
+        let mut a = PowerMap::new(4, 4, 2).unwrap();
+        a.set(x1, y1, 0, p1).unwrap();
+        let mut b = PowerMap::new(4, 4, 2).unwrap();
+        b.set(x2, y2, 1, p2).unwrap();
+        let mut ab = PowerMap::new(4, 4, 2).unwrap();
+        ab.add(x1, y1, 0, p1).unwrap();
+        ab.add(x2, y2, 1, p2).unwrap();
+
+        let ta = solve(&a, &cfg);
+        let tb = solve(&b, &cfg);
+        let tab = solve(&ab, &cfg);
+        for z in 0..2 {
+            for y in 0..4 {
+                for x in 0..4 {
+                    let superposed =
+                        ta.get(x, y, z) + tb.get(x, y, z) - cfg.ambient_k;
+                    prop_assert!((tab.get(x, y, z) - superposed).abs() < 1e-3);
+                }
+            }
+        }
+    }
+
+    /// Monotonicity: adding power anywhere cannot cool any cell.
+    #[test]
+    fn more_power_never_cools(
+        x in 0u16..4, y in 0u16..4, z in 0u16..2, extra in 0.1f64..2.0,
+    ) {
+        let cfg = ThermalConfig::m3d();
+        let mut base = PowerMap::new(4, 4, 2).unwrap();
+        base.set(1, 1, 1, 1.0).unwrap();
+        let t0 = solve(&base, &cfg);
+        base.add(x, y, z, extra).unwrap();
+        let t1 = solve(&base, &cfg);
+        for zz in 0..2 {
+            for yy in 0..4 {
+                for xx in 0..4 {
+                    prop_assert!(t1.get(xx, yy, zz) >= t0.get(xx, yy, zz) - 1e-6);
+                }
+            }
+        }
+    }
+
+    /// All temperatures stay at or above ambient (no spontaneous cooling).
+    #[test]
+    fn no_cell_below_ambient(watts in prop::collection::vec(0.0f64..2.0, 8)) {
+        let cfg = ThermalConfig::m3d();
+        let mut power = PowerMap::new(4, 2, 1).unwrap();
+        for (i, &w) in watts.iter().enumerate() {
+            power.set((i % 4) as u16, (i / 4) as u16, 0, w).unwrap();
+        }
+        let map = solve(&power, &cfg);
+        prop_assert!(map.mean_k() >= cfg.ambient_k - 1e-9);
+        prop_assert!(map.peak_k() >= cfg.ambient_k - 1e-9);
+    }
+}

@@ -1,0 +1,539 @@
+//! Generators for the baseline NoI/NoC architectures compared in the paper:
+//! SIAM-style 2D mesh, plain torus, Kite (folded-torus with two-hop links)
+//! and SWAP (small-world, application-specific), plus a 3D mesh NoC.
+
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::graph::{Coord, NodeId, Topology, TopologyBuilder, TopologyError, TopologyKind};
+
+fn grid_nodes(b: &mut TopologyBuilder, w: u16, h: u16) -> Vec<Vec<NodeId>> {
+    let mut ids = vec![vec![NodeId(0); w as usize]; h as usize];
+    for y in 0..h {
+        for x in 0..w {
+            ids[y as usize][x as usize] = b.add_node(Coord::new2(x, y));
+        }
+    }
+    ids
+}
+
+fn check_dims(w: u16, h: u16) -> Result<(), TopologyError> {
+    if w < 2 || h < 2 {
+        return Err(TopologyError::InvalidDimensions(format!(
+            "grid must be at least 2x2, got {w}x{h}"
+        )));
+    }
+    Ok(())
+}
+
+/// SIAM-style 2D mesh NoI over a `w` x `h` chiplet grid: every chiplet
+/// router connects to its north/south/east/west neighbors with single-hop
+/// links. Interior routers have 4 ports, edges 3, corners 2, matching the
+/// SIAM distribution of Fig. 2(a).
+///
+/// # Errors
+///
+/// Returns [`TopologyError::InvalidDimensions`] for grids smaller than 2x2.
+///
+/// # Examples
+///
+/// ```
+/// let mesh = topology::mesh2d(10, 10)?;
+/// assert_eq!(mesh.node_count(), 100);
+/// assert_eq!(mesh.link_count(), 180);
+/// # Ok::<(), topology::TopologyError>(())
+/// ```
+pub fn mesh2d(w: u16, h: u16) -> Result<Topology, TopologyError> {
+    check_dims(w, h)?;
+    let mut b = TopologyBuilder::new(TopologyKind::Mesh2d, format!("mesh-{w}x{h}"));
+    let ids = grid_nodes(&mut b, w, h);
+    for y in 0..h as usize {
+        for x in 0..w as usize {
+            if x + 1 < w as usize {
+                b.add_link(ids[y][x], ids[y][x + 1])?;
+            }
+            if y + 1 < h as usize {
+                b.add_link(ids[y][x], ids[y + 1][x])?;
+            }
+        }
+    }
+    b.build()
+}
+
+/// Plain 2D torus: mesh plus wrap-around links. Wrap links have physical
+/// length `w-1` (resp. `h-1`) hop units, reflecting a non-folded layout.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::InvalidDimensions`] for grids smaller than 3x3
+/// (a 2-wide torus would duplicate mesh links).
+pub fn torus(w: u16, h: u16) -> Result<Topology, TopologyError> {
+    if w < 3 || h < 3 {
+        return Err(TopologyError::InvalidDimensions(format!(
+            "torus must be at least 3x3, got {w}x{h}"
+        )));
+    }
+    let mut b = TopologyBuilder::new(TopologyKind::Torus, format!("torus-{w}x{h}"));
+    let ids = grid_nodes(&mut b, w, h);
+    for y in 0..h as usize {
+        for x in 0..w as usize {
+            let right = (x + 1) % w as usize;
+            let down = (y + 1) % h as usize;
+            if !b.has_link(ids[y][x], ids[y][right]) {
+                b.add_link(ids[y][x], ids[y][right])?;
+            }
+            if !b.has_link(ids[y][x], ids[down][x]) {
+                b.add_link(ids[y][x], ids[down][x])?;
+            }
+        }
+    }
+    b.build()
+}
+
+/// Ring order of `n` positions in a folded torus: evens ascending then odds
+/// descending, so that consecutive ring neighbors are at most two physical
+/// positions apart.
+fn folded_ring(n: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).step_by(2).collect();
+    let mut odds: Vec<usize> = (1..n).step_by(2).collect();
+    odds.reverse();
+    order.extend(odds);
+    order
+}
+
+/// Kite-family NoI modeled as a folded torus: each row and column is a
+/// folded ring, so almost every link spans exactly two chiplet positions
+/// ("mainly two-hop links", Fig. 2(b)) and every router has four network
+/// ports ("four-port routers are the most frequent", Fig. 2(a)).
+///
+/// The published Kite family (Bharadwaj et al., DAC 2020) mixes a small
+/// number of longer skip links; [`kite_with_skips`] adds those for the
+/// ablation study.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::InvalidDimensions`] for grids smaller than 3x3.
+pub fn kite(w: u16, h: u16) -> Result<Topology, TopologyError> {
+    if w < 3 || h < 3 {
+        return Err(TopologyError::InvalidDimensions(format!(
+            "kite must be at least 3x3, got {w}x{h}"
+        )));
+    }
+    let mut b = TopologyBuilder::new(TopologyKind::Kite, format!("kite-{w}x{h}"));
+    let ids = grid_nodes(&mut b, w, h);
+    // Folded ring along every row.
+    for y in 0..h as usize {
+        let ring = folded_ring(w as usize);
+        for i in 0..ring.len() {
+            let a = ids[y][ring[i]];
+            let c = ids[y][ring[(i + 1) % ring.len()]];
+            if !b.has_link(a, c) {
+                b.add_link(a, c)?;
+            }
+        }
+    }
+    // Folded ring along every column.
+    for x in 0..w as usize {
+        let ring = folded_ring(h as usize);
+        for i in 0..ring.len() {
+            let a = ids[ring[i]][x];
+            let c = ids[ring[(i + 1) % ring.len()]][x];
+            if !b.has_link(a, c) {
+                b.add_link(a, c)?;
+            }
+        }
+    }
+    b.build()
+}
+
+/// Kite variant with `skips` additional long diagonal skip links radiating
+/// from the grid centre, increasing router radix for the ablation bench.
+///
+/// # Errors
+///
+/// Propagates the conditions of [`kite`].
+pub fn kite_with_skips(w: u16, h: u16, skips: usize, seed: u64) -> Result<Topology, TopologyError> {
+    let base = kite(w, h)?;
+    let mut b = TopologyBuilder::new(TopologyKind::Kite, format!("kite-skip{skips}-{w}x{h}"));
+    for n in base.nodes() {
+        b.add_node(n.coord);
+    }
+    for l in base.links() {
+        b.add_link_with_length(l.a, l.b, l.length_hops)?;
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n = base.node_count();
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < skips && attempts < skips * 50 {
+        attempts += 1;
+        let a = NodeId(rng.random_range(0..n as u32));
+        let c = NodeId(rng.random_range(0..n as u32));
+        if a == c || b.has_link(a, c) {
+            continue;
+        }
+        let d = base.node(a).coord.manhattan(base.node(c).coord);
+        if !(3..=6).contains(&d) {
+            continue;
+        }
+        b.add_link(a, c)?;
+        added += 1;
+    }
+    b.build()
+}
+
+/// Configuration for the SWAP small-world NoI generator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SwapConfig {
+    /// RNG seed; SWAP is an offline-optimized irregular design, so a given
+    /// seed reproduces one concrete published-style instance.
+    pub seed: u64,
+    /// Number of long-range shortcut links, as a fraction of the node count
+    /// (SWAP uses noticeably fewer links than a mesh).
+    pub shortcut_frac: f64,
+    /// Power-law exponent for shortcut length bias: P(link over distance d)
+    /// proportional to d^-alpha. SWAP's small-world construction uses
+    /// alpha around 2.
+    pub alpha: f64,
+    /// Maximum network ports per router (SWAP uses 2-3 port routers).
+    pub max_ports: usize,
+}
+
+impl Default for SwapConfig {
+    fn default() -> Self {
+        SwapConfig {
+            seed: 0xDA7AF10B,
+            shortcut_frac: 0.28,
+            alpha: 2.2,
+            max_ports: 3,
+        }
+    }
+}
+
+/// SWAP server-scale small-world NoI: a serpentine backbone over the grid
+/// (guaranteeing connectivity with two-port routers) plus a budget of
+/// distance-biased long-range shortcuts, capped at
+/// [`SwapConfig::max_ports`] ports per router. Reproduces the published
+/// structure: mostly 2-3 port routers, fewer total links than a mesh, and
+/// a tail of 4-5 hop links (Fig. 2).
+///
+/// # Errors
+///
+/// Returns [`TopologyError::InvalidDimensions`] for grids smaller than 2x2.
+///
+/// # Examples
+///
+/// ```
+/// use topology::SwapConfig;
+/// let t = topology::swap(10, 10, &SwapConfig::default())?;
+/// assert_eq!(t.node_count(), 100);
+/// assert!(t.link_count() < 180); // fewer links than the 10x10 mesh
+/// # Ok::<(), topology::TopologyError>(())
+/// ```
+pub fn swap(w: u16, h: u16, cfg: &SwapConfig) -> Result<Topology, TopologyError> {
+    check_dims(w, h)?;
+    if !(0.0..=2.0).contains(&cfg.shortcut_frac) {
+        return Err(TopologyError::InvalidDimensions(format!(
+            "shortcut_frac must lie in [0, 2], got {}",
+            cfg.shortcut_frac
+        )));
+    }
+    let mut b = TopologyBuilder::new(TopologyKind::Swap, format!("swap-{w}x{h}"));
+    let ids = grid_nodes(&mut b, w, h);
+
+    // Serpentine backbone: row 0 left-to-right, row 1 right-to-left, ...
+    let mut order = Vec::with_capacity((w as usize) * (h as usize));
+    for y in 0..h as usize {
+        if y % 2 == 0 {
+            for x in 0..w as usize {
+                order.push(ids[y][x]);
+            }
+        } else {
+            for x in (0..w as usize).rev() {
+                order.push(ids[y][x]);
+            }
+        }
+    }
+    for pair in order.windows(2) {
+        b.add_link(pair[0], pair[1])?;
+    }
+
+    // Distance-biased shortcuts, rejection-sampled under the port cap.
+    let n = order.len();
+    let budget = ((n as f64) * cfg.shortcut_frac).round() as usize;
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let coords: Vec<Coord> = (0..n)
+        .map(|i| Coord::new2((i % w as usize) as u16, (i / w as usize) as u16))
+        .collect();
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = budget.max(1) * 200;
+    while added < budget && attempts < max_attempts {
+        attempts += 1;
+        let a = rng.random_range(0..n);
+        // Sample a partner with probability ~ d^-alpha by sampling a target
+        // distance from the discrete power law, then a random node at
+        // (approximately) that distance.
+        let dmax = (w + h - 2) as u32;
+        let d_target = sample_power_law(&mut rng, 2, dmax, cfg.alpha);
+        let candidates: Vec<usize> = (0..n)
+            .filter(|&c| {
+                c != a && {
+                    let d = coords[a].manhattan(coords[c]);
+                    d == d_target || d == d_target.saturating_sub(1)
+                }
+            })
+            .collect();
+        let Some(&c) = candidates.choose(&mut rng) else {
+            continue;
+        };
+        let (na, nc) = (NodeId(a as u32), NodeId(c as u32));
+        if b.has_link(na, nc) || b.degree(na) >= cfg.max_ports || b.degree(nc) >= cfg.max_ports {
+            continue;
+        }
+        b.add_link(na, nc)?;
+        added += 1;
+    }
+    b.build()
+}
+
+/// Samples an integer in `[lo, hi]` from a discrete power law with
+/// probability proportional to `d^-alpha`.
+fn sample_power_law<R: RngExt>(rng: &mut R, lo: u32, hi: u32, alpha: f64) -> u32 {
+    debug_assert!(lo >= 1 && hi >= lo);
+    let weights: Vec<f64> = (lo..=hi).map(|d| (d as f64).powf(-alpha)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut u = rng.random::<f64>() * total;
+    for (i, wgt) in weights.iter().enumerate() {
+        u -= wgt;
+        if u <= 0.0 {
+            return lo + i as u32;
+        }
+    }
+    hi
+}
+
+/// 3D mesh NoC over `w` x `h` x `tiers`: planar mesh per tier plus vertical
+/// links between vertically adjacent PEs (TSV or MIV pillars).
+///
+/// # Errors
+///
+/// Returns [`TopologyError::InvalidDimensions`] when the planar grid is
+/// smaller than 2x2 or `tiers == 0`.
+pub fn mesh3d(w: u16, h: u16, tiers: u16) -> Result<Topology, TopologyError> {
+    check_dims(w, h)?;
+    if tiers == 0 {
+        return Err(TopologyError::InvalidDimensions(
+            "tiers must be at least 1".into(),
+        ));
+    }
+    let mut b = TopologyBuilder::new(TopologyKind::Mesh3d, format!("mesh3d-{w}x{h}x{tiers}"));
+    let mut ids = vec![vec![vec![NodeId(0); w as usize]; h as usize]; tiers as usize];
+    for z in 0..tiers {
+        for y in 0..h {
+            for x in 0..w {
+                ids[z as usize][y as usize][x as usize] = b.add_node(Coord::new3(x, y, z));
+            }
+        }
+    }
+    for z in 0..tiers as usize {
+        for y in 0..h as usize {
+            for x in 0..w as usize {
+                if x + 1 < w as usize {
+                    b.add_link(ids[z][y][x], ids[z][y][x + 1])?;
+                }
+                if y + 1 < h as usize {
+                    b.add_link(ids[z][y][x], ids[z][y + 1][x])?;
+                }
+                if z + 1 < tiers as usize {
+                    b.add_link(ids[z][y][x], ids[z + 1][y][x])?;
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::port_histogram;
+
+    #[test]
+    fn mesh_counts() {
+        let t = mesh2d(10, 10).unwrap();
+        assert_eq!(t.node_count(), 100);
+        assert_eq!(t.link_count(), 180);
+        assert_eq!(t.diameter(), 18);
+        // Port histogram: 4 corners of 2, 32 edges of 3, 64 interior of 4.
+        let hist = port_histogram(&t);
+        assert_eq!(hist.get(&2), Some(&4));
+        assert_eq!(hist.get(&3), Some(&32));
+        assert_eq!(hist.get(&4), Some(&64));
+    }
+
+    #[test]
+    fn mesh_rejects_tiny() {
+        assert!(mesh2d(1, 5).is_err());
+    }
+
+    #[test]
+    fn torus_all_degree_four() {
+        let t = torus(5, 5).unwrap();
+        assert_eq!(t.node_count(), 25);
+        assert_eq!(t.link_count(), 50);
+        for n in t.nodes() {
+            assert_eq!(t.degree(n.id), 4);
+        }
+    }
+
+    #[test]
+    fn torus_wrap_links_are_long() {
+        let t = torus(6, 6).unwrap();
+        let long = t.links().iter().filter(|l| l.length_hops == 5).count();
+        assert_eq!(long, 12, "one wrap link per row and per column");
+    }
+
+    #[test]
+    fn folded_ring_distances_at_most_two() {
+        for n in 3..12 {
+            let ring = folded_ring(n);
+            assert_eq!(ring.len(), n);
+            let mut seen = ring.clone();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..n).collect::<Vec<_>>());
+            for i in 0..n {
+                let d = (ring[i] as i64 - ring[(i + 1) % n] as i64).unsigned_abs();
+                assert!(d <= 2, "folded ring step {d} too long for n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn kite_is_four_port_two_hop_dominated() {
+        let t = kite(10, 10).unwrap();
+        assert_eq!(t.node_count(), 100);
+        for n in t.nodes() {
+            assert_eq!(t.degree(n.id), 4, "every kite router has 4 ports");
+        }
+        let two_hop = t
+            .links()
+            .iter()
+            .filter(|l| l.length_hops == 2)
+            .count() as f64;
+        assert!(
+            two_hop / t.link_count() as f64 > 0.7,
+            "kite links are mainly two-hop"
+        );
+    }
+
+    #[test]
+    fn kite_has_more_wire_than_mesh() {
+        let mesh = mesh2d(10, 10).unwrap();
+        let k = kite(10, 10).unwrap();
+        assert!(k.total_link_length() > mesh.total_link_length());
+        assert!(k.link_count() >= mesh.link_count());
+    }
+
+    #[test]
+    fn kite_with_skips_adds_links() {
+        let base = kite(8, 8).unwrap();
+        let sk = kite_with_skips(8, 8, 6, 1).unwrap();
+        assert!(sk.link_count() > base.link_count());
+    }
+
+    #[test]
+    fn swap_respects_port_cap() {
+        let cfg = SwapConfig::default();
+        let t = swap(10, 10, &cfg).unwrap();
+        for n in t.nodes() {
+            assert!(
+                t.degree(n.id) <= cfg.max_ports,
+                "router {} exceeds port cap",
+                n.id
+            );
+        }
+    }
+
+    #[test]
+    fn swap_is_deterministic_per_seed() {
+        let cfg = SwapConfig::default();
+        let a = swap(10, 10, &cfg).unwrap();
+        let b = swap(10, 10, &cfg).unwrap();
+        assert_eq!(a.link_count(), b.link_count());
+        for (la, lb) in a.links().iter().zip(b.links()) {
+            assert_eq!((la.a, la.b, la.length_hops), (lb.a, lb.b, lb.length_hops));
+        }
+    }
+
+    #[test]
+    fn swap_differs_across_seeds() {
+        let a = swap(10, 10, &SwapConfig::default()).unwrap();
+        let b = swap(
+            10,
+            10,
+            &SwapConfig {
+                seed: 99,
+                ..SwapConfig::default()
+            },
+        )
+        .unwrap();
+        let same = a
+            .links()
+            .iter()
+            .zip(b.links())
+            .filter(|(x, y)| (x.a, x.b) == (y.a, y.b))
+            .count();
+        assert!(same < a.link_count(), "different seeds give different NoIs");
+    }
+
+    #[test]
+    fn swap_has_long_links() {
+        let t = swap(10, 10, &SwapConfig::default()).unwrap();
+        let max_len = t.links().iter().map(|l| l.length_hops).max().unwrap();
+        assert!(max_len >= 3, "SWAP should contain some multi-hop links");
+    }
+
+    #[test]
+    fn swap_fewer_links_than_mesh() {
+        let t = swap(10, 10, &SwapConfig::default()).unwrap();
+        assert!(t.link_count() < mesh2d(10, 10).unwrap().link_count());
+    }
+
+    #[test]
+    fn swap_rejects_bad_fraction() {
+        let cfg = SwapConfig {
+            shortcut_frac: 5.0,
+            ..SwapConfig::default()
+        };
+        assert!(swap(4, 4, &cfg).is_err());
+    }
+
+    #[test]
+    fn mesh3d_counts() {
+        let t = mesh3d(5, 5, 4).unwrap();
+        assert_eq!(t.node_count(), 100);
+        // links: per tier 2*5*4=40, 4 tiers = 160; vertical 25*3 = 75.
+        assert_eq!(t.link_count(), 160 + 75);
+    }
+
+    #[test]
+    fn mesh3d_rejects_zero_tiers() {
+        assert!(mesh3d(4, 4, 0).is_err());
+    }
+
+    #[test]
+    fn power_law_sampler_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut lows = 0;
+        for _ in 0..500 {
+            let v = sample_power_law(&mut rng, 2, 18, 2.2);
+            assert!((2..=18).contains(&v));
+            if v <= 4 {
+                lows += 1;
+            }
+        }
+        assert!(lows > 250, "power law should favor short distances");
+    }
+}

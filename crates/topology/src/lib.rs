@@ -1,0 +1,53 @@
+//! NoI/NoC topology generators and hardware models for dataflow-aware
+//! PIM-enabled manycore architectures.
+//!
+//! This crate provides the interconnect substrate of the DATE 2024 paper
+//! *"Dataflow-Aware PIM-Enabled Manycore Architecture for Deep Learning
+//! Workloads"*: the four 2.5D network-on-interposer (NoI) architectures it
+//! compares — SIAM-style [`mesh2d`], [`kite`] (folded-torus family),
+//! [`swap`] (small-world application-specific) and [`floret`] (the
+//! space-filling-curve NoI) — plus the 3D NoCs of Section III
+//! ([`mesh3d`] and [`sfc3d`]) and the router/link hardware model
+//! ([`HwParams`]) used for timing, energy and area accounting.
+//!
+//! # Examples
+//!
+//! Compare the structure of the four 100-chiplet NoIs of Fig. 2:
+//!
+//! ```
+//! use topology::{floret, kite, mesh2d, swap, HwParams, SwapConfig};
+//!
+//! let hw = HwParams::default();
+//! let (fl, layout) = floret(10, 10, 6)?;
+//! let summaries = [
+//!     topology::summarize(&kite(10, 10)?, &hw),
+//!     topology::summarize(&mesh2d(10, 10)?, &hw),
+//!     topology::summarize(&swap(10, 10, &SwapConfig::default())?, &hw),
+//!     topology::summarize(&fl, &hw),
+//! ];
+//! // Floret uses the least NoI silicon of the four.
+//! let floret_area = summaries[3].noi_area_mm2;
+//! assert!(summaries[..3].iter().all(|s| s.noi_area_mm2 > floret_area));
+//! // And its petal heads/tails cluster near the interposer centre (Eq. 1).
+//! assert!(layout.eq1_distance(&fl) < 6.0);
+//! # Ok::<(), topology::TopologyError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod floret;
+mod generators;
+mod graph;
+mod hw;
+mod stats;
+
+pub use floret::{floret, sfc3d, FloretLayout, Petal, MAX_INTER_SFC_HOPS};
+pub use generators::{kite, kite_with_skips, mesh2d, mesh3d, swap, torus, SwapConfig};
+pub use graph::{
+    Coord, Link, LinkId, Node, NodeId, Topology, TopologyBuilder, TopologyError, TopologyKind,
+};
+pub use hw::HwParams;
+pub use stats::{
+    bisection_links, link_length_histogram, port_histogram, summarize, TopologySummary,
+};

@@ -1,0 +1,81 @@
+//! Property-based tests of the topology generators' structural
+//! invariants.
+
+use proptest::prelude::*;
+use topology::{floret, kite, mesh2d, swap, torus, HwParams, NodeId, SwapConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn mesh_distance_is_manhattan(w in 2u16..12, h in 2u16..12) {
+        let t = mesh2d(w, h).unwrap();
+        // Sample the corner-to-corner distance.
+        let a = NodeId(0);
+        let b = NodeId((w as u32 * h as u32) - 1);
+        let expect = (w - 1) as u32 + (h - 1) as u32;
+        prop_assert_eq!(t.hops(a, b), Some(expect));
+    }
+
+    #[test]
+    fn torus_beats_mesh_diameter(w in 4u16..10, h in 4u16..10) {
+        let m = mesh2d(w, h).unwrap();
+        let t = torus(w, h).unwrap();
+        prop_assert!(t.diameter() <= m.diameter());
+    }
+
+    #[test]
+    fn kite_structure(w in 3u16..12, h in 3u16..12) {
+        let t = kite(w, h).unwrap();
+        for n in t.nodes() {
+            prop_assert_eq!(t.degree(n.id), 4);
+        }
+        prop_assert!(t.links().iter().all(|l| l.length_hops <= 2));
+    }
+
+    #[test]
+    fn swap_is_connected_and_port_capped(
+        w in 4u16..12, h in 4u16..12, seed in 0u64..500,
+    ) {
+        let cfg = SwapConfig { seed, ..SwapConfig::default() };
+        let t = swap(w, h, &cfg).unwrap();
+        for n in t.nodes() {
+            prop_assert!(t.degree(n.id) <= cfg.max_ports);
+        }
+        // Builder-enforced connectivity: every node reachable.
+        let hops = t.bfs_hops(NodeId(0));
+        prop_assert!(hops.iter().all(|d| d.is_some()));
+    }
+
+    #[test]
+    fn floret_interior_is_two_port(w in 4u16..12, h in 4u16..12, lambda in 1u16..6) {
+        let (t, layout) = floret(w, h, lambda).unwrap();
+        let special: Vec<NodeId> = layout
+            .petals()
+            .iter()
+            .flat_map(|p| [p.head(), p.tail()])
+            .collect();
+        for n in t.nodes() {
+            if !special.contains(&n.id) {
+                prop_assert!(t.ports(n.id) <= 2);
+            }
+        }
+    }
+
+    /// Floret's area advantage holds at scale (>= 6x6); on tiny grids the
+    /// head/tail star does not amortize (the paper's setting is 100
+    /// chiplets).
+    #[test]
+    fn floret_area_beats_mesh_at_scale(w in 6u16..12, h in 6u16..12) {
+        let hw = HwParams::default();
+        let (f, _) = floret(w, h, 4).unwrap();
+        let m = mesh2d(w, h).unwrap();
+        prop_assert!(hw.noi_area_mm2(&f) < hw.noi_area_mm2(&m));
+    }
+
+    #[test]
+    fn diameter_bounds_avg_hops(w in 2u16..10, h in 2u16..10) {
+        let t = mesh2d(w, h).unwrap();
+        prop_assert!(t.avg_hops() <= t.diameter() as f64);
+    }
+}

@@ -1,0 +1,56 @@
+//! Datacenter-scale concurrent inference: all five Table II mixes on the
+//! Floret NoI, with dynamic task churn, utilization and per-mix metrics —
+//! the workload the paper's Section II evaluates.
+//!
+//! Run with: `cargo run --release --example datacenter_inference`
+
+use dataflow_pim::{NoiArch, Platform25D, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = SystemConfig::datacenter_25d();
+    let floret = Platform25D::new(NoiArch::Floret { lambda: 6 }, &cfg)?;
+
+    println!("Floret 10x10, lambda=6: {} chiplets of {} weights",
+        cfg.node_count(), cfg.node_capacity());
+    let layout = floret.layout().expect("floret has a layout");
+    println!(
+        "petals: {:?}, Eq.(1) mean tail->head distance: {:.2} hops\n",
+        layout.petals().iter().map(|p| p.len()).collect::<Vec<_>>(),
+        layout.eq1_distance(floret.topology())
+    );
+
+    println!(
+        "{:<5} {:>6} {:>10} {:>12} {:>14} {:>12}",
+        "mix", "tasks", "departures", "utilization", "latency(cyc)", "traffic(MB)"
+    );
+    for wl in dataflow_pim::dnn::table2() {
+        let report = floret.run_workload(&wl);
+        println!(
+            "{:<5} {:>6} {:>10} {:>12.2} {:>14} {:>12}",
+            report.workload,
+            report.mapped_tasks,
+            report.departures,
+            report.mean_utilization,
+            report.sim_latency_cycles,
+            report.total_traffic_bytes / 1_000_000
+        );
+    }
+
+    // Show how the dynamic queue reassigns chiplets: map WL1 under churn
+    // and print where the first and the 20th task landed.
+    let wl1 = dataflow_pim::dnn::table2_workload("WL1").expect("WL1");
+    let churn = floret.map_workload_churn(&wl1);
+    let first = &churn.placements[0];
+    let late = &churn.placements[19];
+    println!(
+        "\ntask 0 ({}) occupies chiplets {:?}",
+        first.model,
+        first.used_nodes()
+    );
+    println!(
+        "task 19 ({}) reuses freed chiplets {:?} (ring-buffer reassignment)",
+        late.model,
+        late.used_nodes()
+    );
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! Ablation: sweep the Floret petal count (lambda) and report the Eq. (1)
+//! tail-to-head distance, NoI area and WL1 latency — the design-choice
+//! study behind the paper's lambda = 6 configuration.
+//!
+//! Run with: `cargo run --release --example petal_sweep`
+
+use dataflow_pim::{NoiArch, Platform25D, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = SystemConfig::datacenter_25d();
+    let wl = dataflow_pim::dnn::table2_workload("WL1").expect("WL1");
+    println!(
+        "{:>7} {:>10} {:>11} {:>14} {:>12}",
+        "lambda", "Eq(1) d", "area(mm2)", "latency(cyc)", "energy(pJ)"
+    );
+    for lambda in [1u16, 2, 4, 6, 8, 10] {
+        let platform = Platform25D::new(NoiArch::Floret { lambda }, &cfg)?;
+        let layout = platform.layout().expect("floret layout");
+        let d = layout.eq1_distance(platform.topology());
+        let report = platform.run_workload(&wl);
+        println!(
+            "{:>7} {:>10.2} {:>11.1} {:>14} {:>12.3e}",
+            lambda,
+            d,
+            platform.noi_area_mm2(),
+            report.sim_latency_cycles,
+            report.noi_energy_pj
+        );
+    }
+    println!("\nMore petals add redundancy and shorten per-petal chains but grow the");
+    println!("top-level star; the paper settles on lambda = 6 for 100 chiplets.");
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Section III walkthrough: map ResNet-34 on the 100-PE 3D SFC NoC,
+//! compare the performance-only (Floret) placement against the joint
+//! performance-thermal optimization, and print the bottom-tier heat map.
+//!
+//! Run with: `cargo run --release --example thermal_3d`
+
+use dataflow_pim::dnn::{build_model, Dataset, ModelKind, SegmentGraph};
+use dataflow_pim::{experiments, Platform3D, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = SystemConfig::stacked_3d();
+    let platform = Platform3D::new(&cfg)?;
+    let net = build_model(ModelKind::ResNet34, Dataset::Cifar10)?;
+    let sg = SegmentGraph::from_layer_graph(&net);
+
+    // Performance-only: layers along the 3D space-filling curve.
+    let sfc = platform.sfc_order();
+    let perf_only = platform.evaluate(&sg, &sfc)?;
+    println!("Floret-enabled 3D NoC (performance-only placement):");
+    println!("  EDP            = {:.3e} J*s", perf_only.edp_js);
+    println!("  peak T         = {:.1} K", perf_only.peak_k);
+    println!("  hotspots >330K = {}", perf_only.hotspots);
+    println!("  accuracy drop  = {:.1}%", perf_only.accuracy_drop * 100.0);
+
+    // Joint optimization (weighted-sum simulated annealing).
+    let sa = experiments::joint_sa_config();
+    let (order, joint) = platform.optimize(&sg, &sa)?;
+    println!("\njoint performance-thermal placement:");
+    println!("  EDP            = {:.3e} J*s ({:+.1}%)", joint.edp_js,
+        (joint.edp_js / perf_only.edp_js - 1.0) * 100.0);
+    println!("  peak T         = {:.1} K ({:.1} K cooler)", joint.peak_k,
+        perf_only.peak_k - joint.peak_k);
+    println!("  hotspots >330K = {}", joint.hotspots);
+    println!("  accuracy drop  = {:.1}%", joint.accuracy_drop * 100.0);
+
+    // Bottom tier (farthest from the heat sink), both placements.
+    let bottom = cfg.tiers - 1;
+    let sfc_map = platform.thermal_map(&sg, &platform.place(&sg, &sfc)?);
+    let joint_map = platform.thermal_map(&sg, &platform.place(&sg, &order)?);
+    println!("\nbottom-tier temperatures, performance-only (K):");
+    for row in sfc_map.tier_slice(bottom) {
+        println!("  {}", row.iter().map(|t| format!("{t:6.1}")).collect::<Vec<_>>().join(" "));
+    }
+    println!("bottom-tier temperatures, joint (K):");
+    for row in joint_map.tier_slice(bottom) {
+        println!("  {}", row.iter().map(|t| format!("{t:6.1}")).collect::<Vec<_>>().join(" "));
+    }
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! # dataflow-pim
+//!
+//! A full-system reproduction of *"Dataflow-Aware PIM-Enabled Manycore
+//! Architecture for Deep Learning Workloads"* (Sharma, Narang, Doppa,
+//! Ogras, Pande — DATE 2024).
+//!
+//! This umbrella crate re-exports the workspace so downstream users can
+//! depend on a single crate:
+//!
+//! * [`topology`] — NoI/NoC generators (Floret SFC, SIAM mesh, Kite,
+//!   SWAP, 3D stacks) and the router/link hardware model;
+//! * [`dnn`] — the Table I/II DNN workload models with per-layer
+//!   accounting and the Section IV transformer analysis;
+//! * [`pim`] — the ReRAM crossbar compute model and thermal accuracy
+//!   impact;
+//! * [`mapper`] — dataflow-aware SFC mapping, greedy baselines and the
+//!   churn scheduler;
+//! * [`netsim`] — analytical + discrete-event NoI simulation;
+//! * [`thermal`] — the 3D resistive-grid thermal solver;
+//! * [`cost`] — the Eq. (2)-(5) fabrication cost model;
+//! * [`opt`] — simulated annealing and NSGA-II;
+//! * [`core`] (as `pim_core`) — the [`Platform25D`] / [`Platform3D`]
+//!   facades and per-figure experiment entry points.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use dataflow_pim::{NoiArch, Platform25D, SystemConfig};
+//!
+//! let cfg = SystemConfig::datacenter_25d();
+//! let platform = Platform25D::new(NoiArch::Floret { lambda: 6 }, &cfg)?;
+//! let wl = dataflow_pim::dnn::table2_workload("WL1").expect("table workload");
+//! let report = platform.run_workload(&wl);
+//! println!("{}: {} cycles, {:.3e} pJ", report.arch,
+//!          report.sim_latency_cycles, report.noi_energy_pj);
+//! # Ok::<(), dataflow_pim::topology::TopologyError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use pim_core::{
+    experiments, NoiArch, PlacementEval, Platform25D, Platform3D, SystemConfig, WorkloadReport,
+};
+
+pub use cost;
+pub use dnn;
+pub use mapper;
+pub use netsim;
+pub use opt;
+pub use pim;
+pub use thermal;
+pub use topology;

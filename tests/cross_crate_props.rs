@@ -1,0 +1,83 @@
+//! Property-based integration tests over the cross-crate invariants:
+//! mapping conserves weights, the SFC covers the grid, the DES respects
+//! the analytical bound, and the thermal solver conserves energy.
+
+use dataflow_pim::dnn::{build_model, Dataset, ModelKind, SegmentGraph};
+use dataflow_pim::mapper::{map_task_sfc, CapacityLedger, TaskId};
+use dataflow_pim::netsim::{analyze, simulate, Flow, SimConfig};
+use dataflow_pim::thermal::{solve, PowerMap, ThermalConfig};
+use dataflow_pim::topology::{floret, mesh2d, HwParams, NodeId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn floret_covers_any_grid(w in 4u16..12, h in 4u16..12, lambda in 1u16..6) {
+        let (topo, layout) = floret(w, h, lambda).unwrap();
+        let order = layout.global_order();
+        prop_assert_eq!(order.len(), (w as usize) * (h as usize));
+        let mut seen: Vec<NodeId> = order.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), topo.node_count());
+    }
+
+    #[test]
+    fn sfc_mapping_conserves_weights(capacity in 400_000u64..4_000_000) {
+        let g = build_model(ModelKind::ResNet18, Dataset::ImageNet).unwrap();
+        let sg = SegmentGraph::from_layer_graph(&g);
+        let (_, layout) = floret(10, 10, 6).unwrap();
+        let order = layout.global_order();
+        let mut led = CapacityLedger::new(100, capacity);
+        if let Ok(tp) = map_task_sfc(&mut led, &order, TaskId(0), &sg) {
+            for (seg, sp) in sg.segments().iter().zip(&tp.segments) {
+                prop_assert_eq!(sp.total_weights(), seg.params);
+            }
+        }
+    }
+
+    #[test]
+    fn des_never_beats_the_analytical_bound(
+        seed in 0u64..1000,
+        n_flows in 1usize..40,
+    ) {
+        let topo = mesh2d(6, 6).unwrap();
+        let hw = HwParams::default();
+        let flows: Vec<Flow> = (0..n_flows)
+            .map(|i| {
+                let s = ((seed as usize + i * 7) % 36) as u32;
+                let d = ((seed as usize + i * 13 + 5) % 36) as u32;
+                Flow::new(NodeId(s), NodeId(d), 64 + ((seed + i as u64 * 31) % 4096))
+            })
+            .collect();
+        let ana = analyze(&topo, &hw, &flows);
+        let des = simulate(&topo, &hw, &flows, &SimConfig::default());
+        prop_assert!(des.makespan_cycles >= ana.makespan_cycles);
+        prop_assert!((des.total_energy_pj - ana.total_energy_pj).abs() <= 1e-6 * ana.total_energy_pj.max(1.0));
+    }
+
+    #[test]
+    fn thermal_energy_balance(
+        px in 0u16..5, py in 0u16..5, pz in 0u16..4,
+        watts in 0.1f64..5.0,
+    ) {
+        let mut power = PowerMap::new(5, 5, 4).unwrap();
+        power.set(px, py, pz, watts).unwrap();
+        // Tighten convergence so the balance check is meaningful even for
+        // sub-watt inputs.
+        let cfg = ThermalConfig {
+            tolerance_k: 1e-9,
+            ..ThermalConfig::m3d()
+        };
+        let map = solve(&power, &cfg);
+        let sink_w: f64 = (0..5)
+            .flat_map(|y| (0..5).map(move |x| (x, y)))
+            .map(|(x, y)| cfg.g_sink * (map.get(x, y, 0) - cfg.ambient_k))
+            .sum();
+        prop_assert!((sink_w - watts).abs() / watts < 1e-3,
+            "sink {} vs injected {}", sink_w, watts);
+        // Monotonicity: the hottest point is at least ambient.
+        prop_assert!(map.peak_k() >= cfg.ambient_k);
+    }
+}

@@ -1,0 +1,29 @@
+//! Reproducibility: every pipeline is deterministic for fixed seeds.
+
+use dataflow_pim::{experiments, NoiArch, SystemConfig};
+
+#[test]
+fn workload_reports_are_deterministic() {
+    let cfg = SystemConfig::datacenter_25d();
+    let a = experiments::run_arch_workload(&cfg, NoiArch::Swap { seed: 1 }, "WL1");
+    let b = experiments::run_arch_workload(&cfg, NoiArch::Swap { seed: 1 }, "WL1");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_swap_seeds_differ() {
+    let cfg = SystemConfig::datacenter_25d();
+    let a = experiments::run_arch_workload(&cfg, NoiArch::Swap { seed: 1 }, "WL1");
+    let b = experiments::run_arch_workload(&cfg, NoiArch::Swap { seed: 2 }, "WL1");
+    assert_ne!(
+        (a.sim_latency_cycles, a.noi_energy_pj.to_bits()),
+        (b.sim_latency_cycles, b.noi_energy_pj.to_bits()),
+        "different SWAP instances should not be byte-identical"
+    );
+}
+
+#[test]
+fn table_rows_are_stable() {
+    assert_eq!(experiments::table1_rows(), experiments::table1_rows());
+    assert_eq!(experiments::table2_rows(), experiments::table2_rows());
+}

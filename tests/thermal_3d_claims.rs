@@ -1,0 +1,68 @@
+//! Section III (Figs. 6-7) integration tests on the 100-PE 3D system,
+//! using a reduced annealing budget for test speed.
+
+use dataflow_pim::dnn::{build_model, Dataset, ModelKind, SegmentGraph};
+use dataflow_pim::opt::SaConfig;
+use dataflow_pim::{Platform3D, SystemConfig};
+
+fn fast_sa() -> SaConfig {
+    SaConfig {
+        iterations: 250,
+        t_start: 0.5,
+        t_end: 1e-3,
+        weights: vec![1.0, 0.5],
+        seed: 7,
+    }
+}
+
+#[test]
+fn fig6_joint_mapping_trades_edp_for_temperature() {
+    let cfg = SystemConfig::stacked_3d();
+    let platform = Platform3D::new(&cfg).unwrap();
+    let net = build_model(ModelKind::ResNet34, Dataset::Cifar10).unwrap();
+    let sg = SegmentGraph::from_layer_graph(&net);
+
+    let floret = platform.evaluate(&sg, &platform.sfc_order()).unwrap();
+    let (_, joint) = platform.optimize(&sg, &fast_sa()).unwrap();
+
+    // Fig. 6(b): the joint mapping runs cooler.
+    assert!(
+        joint.peak_k + 4.0 < floret.peak_k,
+        "joint {} K must be clearly cooler than {} K",
+        joint.peak_k,
+        floret.peak_k
+    );
+    // Fig. 6(a): the Floret NoC keeps the EDP edge.
+    assert!(
+        joint.edp_js >= floret.edp_js,
+        "performance-only mapping cannot lose on EDP"
+    );
+    // Fig. 6(c): lower temperature means less accuracy loss.
+    assert!(joint.accuracy_drop < floret.accuracy_drop);
+    // The paper's operating regime: Floret peaks past the 330 K onset.
+    assert!(floret.peak_k > 335.0);
+}
+
+#[test]
+fn fig7_hotspots_sit_in_the_bottom_tier() {
+    let cfg = SystemConfig::stacked_3d();
+    let platform = Platform3D::new(&cfg).unwrap();
+    let net = build_model(ModelKind::ResNet34, Dataset::Cifar10).unwrap();
+    let sg = SegmentGraph::from_layer_graph(&net);
+    let placement = platform.place(&sg, &platform.sfc_order()).unwrap();
+    let map = platform.thermal_map(&sg, &placement);
+    let (_, _, z) = map.argmax();
+    assert_eq!(z, cfg.tiers - 1, "performance-only hotspot must be far from the sink");
+    assert!(map.hotspot_count(330.0) > 0);
+}
+
+#[test]
+fn fig6_holds_for_vgg_class_models_too() {
+    let cfg = SystemConfig::stacked_3d();
+    let platform = Platform3D::new(&cfg).unwrap();
+    let net = build_model(ModelKind::Vgg11, Dataset::Cifar10).unwrap();
+    let sg = SegmentGraph::from_layer_graph(&net);
+    let floret = platform.evaluate(&sg, &platform.sfc_order()).unwrap();
+    let (_, joint) = platform.optimize(&sg, &fast_sa()).unwrap();
+    assert!(joint.peak_k < floret.peak_k);
+}
