@@ -2,12 +2,12 @@
 //! and the churn scheduler that drives Figs. 3-5.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use dnn::{build_model, Dataset, ModelKind, SegmentGraph};
 use mapper::{
     map_task_greedy, map_task_sfc, run_churn, CapacityLedger, GreedyConfig, Strategy, TaskId,
 };
 use std::hint::black_box;
+use std::time::Duration;
 use topology::{floret, mesh2d};
 
 fn task() -> SegmentGraph {
@@ -32,7 +32,15 @@ fn single_task(c: &mut Criterion) {
     g.bench_function("greedy-mesh", |b| {
         b.iter(|| {
             let mut led = CapacityLedger::new(100, 2_000_000);
-            map_task_greedy(&mut led, &mesh, &apsp, TaskId(0), &sg, &GreedyConfig::soft()).unwrap()
+            map_task_greedy(
+                &mut led,
+                &mesh,
+                &apsp,
+                TaskId(0),
+                &sg,
+                &GreedyConfig::soft(),
+            )
+            .unwrap()
         })
     });
     g.finish();
@@ -42,14 +50,7 @@ fn churn(c: &mut Criterion) {
     let tasks = vec![task(); 20];
     let (_, layout) = floret(10, 10, 6).unwrap();
     c.bench_function("churn-20-resnet18-sfc", |b| {
-        b.iter(|| {
-            run_churn(
-                black_box(&tasks),
-                100,
-                1_000_000,
-                &Strategy::sfc(&layout),
-            )
-        })
+        b.iter(|| run_churn(black_box(&tasks), 100, 1_000_000, &Strategy::sfc(&layout)))
     });
 }
 

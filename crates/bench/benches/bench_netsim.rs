@@ -2,9 +2,9 @@
 //! packet-level DES on a loaded 100-chiplet mesh.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use netsim::{analyze, simulate, Flow, SimConfig};
 use std::hint::black_box;
+use std::time::Duration;
 use topology::{mesh2d, HwParams, NodeId};
 
 fn traffic(n: usize) -> Vec<Flow> {

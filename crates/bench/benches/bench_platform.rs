@@ -2,10 +2,10 @@
 //! workload execution and one Fig. 6 placement evaluation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use dnn::{build_model, Dataset, ModelKind, SegmentGraph};
 use pim_core::{NoiArch, Platform25D, Platform3D, SystemConfig};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn workload_run(c: &mut Criterion) {
     let cfg = SystemConfig::datacenter_25d();

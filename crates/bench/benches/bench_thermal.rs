@@ -1,8 +1,8 @@
 //! Criterion benches for the 3D thermal solver (the Fig. 6/7 inner loop).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 use thermal::{solve, PowerMap, ThermalConfig};
 
 fn solver(c: &mut Criterion) {

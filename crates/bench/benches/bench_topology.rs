@@ -2,8 +2,8 @@
 //! the structural substrate behind Fig. 2 and the cost analysis.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 use topology::{floret, kite, mesh2d, swap, HwParams, SwapConfig};
 
 fn generators(c: &mut Criterion) {
@@ -13,7 +13,9 @@ fn generators(c: &mut Criterion) {
     g.bench_function("swap", |b| {
         b.iter(|| swap(black_box(10), 10, &SwapConfig::default()).unwrap())
     });
-    g.bench_function("floret-l6", |b| b.iter(|| floret(black_box(10), 10, 6).unwrap()));
+    g.bench_function("floret-l6", |b| {
+        b.iter(|| floret(black_box(10), 10, 6).unwrap())
+    });
     g.finish();
 }
 

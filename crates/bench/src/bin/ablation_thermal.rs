@@ -11,7 +11,10 @@ fn main() {
     let sg = SegmentGraph::from_layer_graph(&net);
 
     pim_bench::section("M3D vs TSV: same workload, same SFC placement");
-    println!("{:>8} {:>10} {:>10} {:>10} {:>12}", "stack", "peak(K)", "mean(K)", "hotspots", "acc drop");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>12}",
+        "stack", "peak(K)", "mean(K)", "hotspots", "acc drop"
+    );
     for (name, thermal) in [("M3D", ThermalConfig::m3d()), ("TSV", ThermalConfig::tsv())] {
         let cfg = SystemConfig {
             thermal,
@@ -21,7 +24,11 @@ fn main() {
         let eval = platform.evaluate(&sg, &platform.sfc_order()).expect("fits");
         println!(
             "{:>8} {:>10.1} {:>10.1} {:>10} {:>11.1}%",
-            name, eval.peak_k, eval.mean_k, eval.hotspots, eval.accuracy_drop * 100.0
+            name,
+            eval.peak_k,
+            eval.mean_k,
+            eval.hotspots,
+            eval.accuracy_drop * 100.0
         );
     }
     println!("\nM3D's thin inter-layer dielectric conducts heat to the sink far better");
@@ -39,6 +46,11 @@ fn main() {
         };
         let platform = Platform3D::new(&cfg).expect("3d platform");
         let eval = platform.evaluate(&sg, &platform.sfc_order()).expect("fits");
-        println!("{:>8.1} {:>10.1} {:>11.1}%", g, eval.peak_k, eval.accuracy_drop * 100.0);
+        println!(
+            "{:>8.1} {:>10.1} {:>11.1}%",
+            g,
+            eval.peak_k,
+            eval.accuracy_drop * 100.0
+        );
     }
 }

@@ -10,7 +10,11 @@ fn main() {
     for r in pim_core::experiments::activation_rows() {
         println!(
             "{:<11} {:>14} {:>12} {:>13.2} {:>10.1}%",
-            r.model, r.sequential, r.skip, r.linear_over_skip, r.skip_fraction * 100.0
+            r.model,
+            r.sequential,
+            r.skip,
+            r.linear_over_skip,
+            r.skip_fraction * 100.0
         );
     }
     println!("\nPaper (ResNet-34): linear 4.5x skip; skips ~19% of propagated activations.");

@@ -33,5 +33,8 @@ fn main() {
         transformer: experiments::transformer_rows(),
         activations: experiments::activation_rows(),
     };
-    println!("{}", serde_json::to_string_pretty(&dump).expect("serializable"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&dump).expect("serializable")
+    );
 }

@@ -7,7 +7,10 @@ use pim_core::{experiments, NoiArch, SystemConfig};
 fn main() {
     let cfg = SystemConfig::datacenter_25d();
     pim_bench::section("Fig. 3: NoI latency (DES on co-resident traffic), normalized to Floret");
-    println!("{:<5} {:<8} {:>14} {:>8} {:>10}", "mix", "arch", "latency(cyc)", "norm", "hops");
+    println!(
+        "{:<5} {:<8} {:>14} {:>8} {:>10}",
+        "mix", "arch", "latency(cyc)", "norm", "hops"
+    );
     for wl in ["WL1", "WL2", "WL3", "WL4", "WL5"] {
         let rows: Vec<_> = NoiArch::all()
             .into_iter()
@@ -17,7 +20,11 @@ fn main() {
         for (r, (_, v, n)) in rows.iter().zip(norm) {
             println!(
                 "{:<5} {:<8} {:>14.0} {:>8} {:>10.2}",
-                wl, r.arch, v, pim_bench::ratio(n), r.mean_weighted_hops
+                wl,
+                r.arch,
+                v,
+                pim_bench::ratio(n),
+                r.mean_weighted_hops
             );
         }
     }

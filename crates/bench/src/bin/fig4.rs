@@ -6,7 +6,10 @@ use pim_core::{NoiArch, Platform25D, SystemConfig};
 fn main() {
     let cfg = SystemConfig::datacenter_25d();
     pim_bench::section("Fig. 4: chiplet utilization (wave admission, radius-2 contiguity)");
-    println!("{:<5} {:<8} {:>7} {:>9} {:>8}", "mix", "arch", "waves", "mean util", "failed");
+    println!(
+        "{:<5} {:<8} {:>7} {:>9} {:>8}",
+        "mix", "arch", "waves", "mean util", "failed"
+    );
     for wl_name in ["WL1", "WL2", "WL3", "WL4", "WL5"] {
         let wl = dnn::table2_workload(wl_name).expect("table workload");
         for arch in NoiArch::all() {

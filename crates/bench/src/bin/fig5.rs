@@ -7,7 +7,10 @@ use pim_core::{experiments, NoiArch, SystemConfig};
 fn main() {
     let cfg = SystemConfig::datacenter_25d();
     pim_bench::section("Fig. 5: NoI energy (dynamic + static), normalized to Floret");
-    println!("{:<5} {:<8} {:>12} {:>8}", "mix", "arch", "energy(pJ)", "norm");
+    println!(
+        "{:<5} {:<8} {:>12} {:>8}",
+        "mix", "arch", "energy(pJ)", "norm"
+    );
     let mut sums: std::collections::BTreeMap<String, (f64, u32)> = Default::default();
     for wl in ["WL1", "WL2", "WL3", "WL4", "WL5"] {
         let rows: Vec<_> = NoiArch::all()
@@ -16,7 +19,13 @@ fn main() {
             .collect();
         let norm = normalize_to_floret(&rows, |r| r.noi_energy_pj);
         for (arch, v, n) in norm {
-            println!("{:<5} {:<8} {:>12.3e} {:>8}", wl, arch, v, pim_bench::ratio(n));
+            println!(
+                "{:<5} {:<8} {:>12.3e} {:>8}",
+                wl,
+                arch,
+                v,
+                pim_bench::ratio(n)
+            );
             let e = sums.entry(arch).or_insert((0.0, 0));
             e.0 += n;
             e.1 += 1;

@@ -11,21 +11,34 @@ fn main() {
     let rows = experiments::fig6_rows(&cfg, &sa);
 
     pim_bench::section("Fig. 6(a): EDP (J*s); Floret-NoC is performance-only");
-    println!("{:<5} {:<11} {:>12} {:>12} {:>14}", "id", "model", "Floret", "Joint", "Floret better");
+    println!(
+        "{:<5} {:<11} {:>12} {:>12} {:>14}",
+        "id", "model", "Floret", "Joint", "Floret better"
+    );
     for r in &rows {
         println!(
             "{:<5} {:<11} {:>12.3e} {:>12.3e} {:>13.1}%",
-            r.id, r.model, r.floret.edp_js, r.joint.edp_js,
+            r.id,
+            r.model,
+            r.floret.edp_js,
+            r.joint.edp_js,
             (r.joint.edp_js / r.floret.edp_js - 1.0) * 100.0
         );
     }
 
     pim_bench::section("Fig. 6(b): peak temperature (K)");
-    println!("{:<5} {:<11} {:>8} {:>8} {:>7}", "id", "model", "Floret", "Joint", "delta");
+    println!(
+        "{:<5} {:<11} {:>8} {:>8} {:>7}",
+        "id", "model", "Floret", "Joint", "delta"
+    );
     for r in &rows {
         println!(
             "{:<5} {:<11} {:>8.1} {:>8.1} {:>7.1}",
-            r.id, r.model, r.floret.peak_k, r.joint.peak_k, r.floret.peak_k - r.joint.peak_k
+            r.id,
+            r.model,
+            r.floret.peak_k,
+            r.joint.peak_k,
+            r.floret.peak_k - r.joint.peak_k
         );
     }
 
@@ -39,7 +52,9 @@ fn main() {
         let base = baseline_top1(entry.kind, entry.dataset);
         println!(
             "{:<5} {:<11} {:>9.3} {:>9.3} {:>9.3} {:>9.1}%",
-            r.id, r.model, base,
+            r.id,
+            r.model,
+            base,
             base - r.floret.accuracy_drop,
             base - r.joint.accuracy_drop,
             r.floret.accuracy_drop * 100.0

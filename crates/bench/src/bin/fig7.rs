@@ -13,11 +13,17 @@ fn main() {
 
     pim_bench::section("Fig. 7(a): bottom tier, Floret-based 3D NoC (ResNet-34)");
     print!("{}", ascii_heatmap(&maps.floret_bottom_tier, lo, hi));
-    println!("peak = {:.1} K, hotspots (>=330K) = {}", maps.floret_peak_k, maps.floret_hotspots);
+    println!(
+        "peak = {:.1} K, hotspots (>=330K) = {}",
+        maps.floret_peak_k, maps.floret_hotspots
+    );
 
     pim_bench::section("Fig. 7(b): bottom tier, thermal-aware 3D NoC");
     print!("{}", ascii_heatmap(&maps.joint_bottom_tier, lo, hi));
-    println!("peak = {:.1} K, hotspots (>=330K) = {}", maps.joint_peak_k, maps.joint_hotspots);
+    println!(
+        "peak = {:.1} K, hotspots (>=330K) = {}",
+        maps.joint_peak_k, maps.joint_hotspots
+    );
 
     println!(
         "\npeak delta = {:.1} K (paper: 17 K for ResNet-34)",

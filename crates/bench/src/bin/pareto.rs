@@ -18,11 +18,17 @@ fn main() {
     };
     pim_bench::section("ResNet-34 placement Pareto front (EDP vs peak temperature)");
     let front = platform.pareto_front(&sg, &nsga).expect("fits");
-    println!("{:>10} {:>10} {:>10} {:>12}", "EDP(norm)", "peak(K)", "hotspots", "acc drop");
+    println!(
+        "{:>10} {:>10} {:>10} {:>12}",
+        "EDP(norm)", "peak(K)", "hotspots", "acc drop"
+    );
     for p in &front {
         println!(
             "{:>10.3} {:>10.1} {:>10} {:>11.1}%",
-            p.edp_norm, p.peak_k, p.eval.hotspots, p.eval.accuracy_drop * 100.0
+            p.edp_norm,
+            p.peak_k,
+            p.eval.hotspots,
+            p.eval.accuracy_drop * 100.0
         );
     }
     println!("\n(the SFC order anchors EDP = 1.0; the paper's joint design point");

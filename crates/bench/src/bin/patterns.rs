@@ -29,7 +29,10 @@ fn main() {
         }
     }
     pim_bench::section("pipeline traffic along each architecture's own mapping order");
-    println!("{:<8} {:>10} {:>12} {:>12}", "arch", "avg hops", "makespan", "energy(pJ)");
+    println!(
+        "{:<8} {:>10} {:>12} {:>12}",
+        "arch", "avg hops", "makespan", "energy(pJ)"
+    );
     for arch in NoiArch::all() {
         let p = Platform25D::new(arch, &cfg).expect("arch builds");
         // Floret streams along its curve; the others along id (row-major)

@@ -27,7 +27,13 @@ fn main() {
                 Some(layout) => Strategy::sfc(layout),
                 None => Strategy::greedy(platform.topology(), GreedyConfig::soft()),
             };
-            let out = run_poisson(&graphs, cfg.node_count(), cfg.node_capacity(), &strategy, &arr);
+            let out = run_poisson(
+                &graphs,
+                cfg.node_count(),
+                cfg.node_capacity(),
+                &strategy,
+                &arr,
+            );
             println!(
                 "{:<8} {:>6.1} {:>12.2} {:>11.2} {:>12.1} {:>9}",
                 platform.arch_name(),

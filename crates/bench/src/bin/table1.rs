@@ -3,7 +3,10 @@
 
 fn main() {
     pim_bench::section("Table I: DNN inference workloads, trainable parameters");
-    println!("{:<5} {:<12} {:<9} {:>10} {:>12}", "id", "model", "dataset", "paper (M)", "computed (M)");
+    println!(
+        "{:<5} {:<12} {:<9} {:>10} {:>12}",
+        "id", "model", "dataset", "paper (M)", "computed (M)"
+    );
     for r in pim_core::experiments::table1_rows() {
         println!(
             "{:<5} {:<12} {:<9} {:>10.2} {:>12.2}",

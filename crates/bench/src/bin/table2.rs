@@ -3,7 +3,10 @@
 
 fn main() {
     pim_bench::section("Table II: concurrent DNN task mixes (100-chiplet system)");
-    println!("{:<5} {:>6} {:>10} {:>13}", "mix", "tasks", "paper (B)", "computed (B)");
+    println!(
+        "{:<5} {:>6} {:>10} {:>13}",
+        "mix", "tasks", "paper (B)", "computed (B)"
+    );
     for r in pim_core::experiments::table2_rows() {
         println!(
             "{:<5} {:>6} {:>10.1} {:>13.2}",

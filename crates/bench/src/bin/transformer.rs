@@ -16,7 +16,9 @@ fn main() {
         for r in rows {
             println!(
                 "{:>6} {:>16} {:>22.2} {:>22.2}",
-                r.seq, r.intermediates_per_layer, r.ratio_attention_fp16_int8,
+                r.seq,
+                r.intermediates_per_layer,
+                r.ratio_attention_fp16_int8,
                 r.ratio_layer_same_precision
             );
         }
@@ -25,7 +27,10 @@ fn main() {
     println!("accounting reproduces the BERT-Base regime at seq=512 (~9.3x).");
 
     pim_bench::section("write-endurance lifetime if intermediates lived in ReRAM");
-    for (name, cfg) in [("BERT-Tiny", BertConfig::tiny()), ("BERT-Base", BertConfig::base())] {
+    for (name, cfg) in [
+        ("BERT-Tiny", BertConfig::tiny()),
+        ("BERT-Base", BertConfig::base()),
+    ] {
         let writes = cfg.writes_per_inference(512);
         let life = lifetime_inferences(writes, 100_000_000, 1_000_000);
         println!(

@@ -14,7 +14,12 @@ fn main() {
         );
     }
     let f7 = experiments::fig7_maps(&cfg, &sa);
-    println!("fig7: floret_peak={:.1} joint_peak={:.1} dT={:.1} hotspots {} vs {}",
-        f7.floret_peak_k, f7.joint_peak_k, f7.floret_peak_k - f7.joint_peak_k,
-        f7.floret_hotspots, f7.joint_hotspots);
+    println!(
+        "fig7: floret_peak={:.1} joint_peak={:.1} dT={:.1} hotspots {} vs {}",
+        f7.floret_peak_k,
+        f7.joint_peak_k,
+        f7.floret_peak_k - f7.joint_peak_k,
+        f7.floret_hotspots,
+        f7.joint_hotspots
+    );
 }

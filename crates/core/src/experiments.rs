@@ -4,8 +4,7 @@
 
 use cost::CostModel;
 use dnn::{
-    build_model, storage_sweep, table1, table2, BertConfig, SegmentGraph, StorageRow,
-    Table1Entry,
+    build_model, storage_sweep, table1, table2, BertConfig, SegmentGraph, StorageRow, Table1Entry,
 };
 use opt::SaConfig;
 use serde::{Deserialize, Serialize};
@@ -230,8 +229,7 @@ pub struct Fig7Maps {
 /// Regenerates Fig. 7 (ResNet-34 thermal maps on the 100-PE system).
 pub fn fig7_maps(cfg: &SystemConfig, sa: &SaConfig) -> Fig7Maps {
     let platform = Platform3D::new(cfg).expect("3d platform builds");
-    let g = build_model(dnn::ModelKind::ResNet34, dnn::Dataset::Cifar10)
-        .expect("resnet34 builds");
+    let g = build_model(dnn::ModelKind::ResNet34, dnn::Dataset::Cifar10).expect("resnet34 builds");
     let sg = SegmentGraph::from_layer_graph(&g);
     let bottom = cfg.tiers - 1;
 
@@ -257,8 +255,14 @@ pub fn fig7_maps(cfg: &SystemConfig, sa: &SaConfig) -> Fig7Maps {
 pub fn transformer_rows() -> Vec<(String, Vec<StorageRow>)> {
     let seqs = [64, 128, 256, 384, 512, 1024];
     vec![
-        ("BERT-Tiny".to_string(), storage_sweep(&BertConfig::tiny(), &seqs)),
-        ("BERT-Base".to_string(), storage_sweep(&BertConfig::base(), &seqs)),
+        (
+            "BERT-Tiny".to_string(),
+            storage_sweep(&BertConfig::tiny(), &seqs),
+        ),
+        (
+            "BERT-Base".to_string(),
+            storage_sweep(&BertConfig::base(), &seqs),
+        ),
     ]
 }
 
@@ -279,20 +283,24 @@ pub struct ActivationRow {
 
 /// Regenerates the ResNet-34 activation-split claim.
 pub fn activation_rows() -> Vec<ActivationRow> {
-    [dnn::ModelKind::ResNet18, dnn::ModelKind::ResNet34, dnn::ModelKind::ResNet50]
-        .into_iter()
-        .map(|kind| {
-            let g = build_model(kind, dnn::Dataset::ImageNet).expect("models build");
-            let split = g.activation_split();
-            ActivationRow {
-                model: kind.to_string(),
-                sequential: split.sequential,
-                skip: split.skip,
-                linear_over_skip: split.sequential as f64 / split.skip.max(1) as f64,
-                skip_fraction: split.skip_fraction(),
-            }
-        })
-        .collect()
+    [
+        dnn::ModelKind::ResNet18,
+        dnn::ModelKind::ResNet34,
+        dnn::ModelKind::ResNet50,
+    ]
+    .into_iter()
+    .map(|kind| {
+        let g = build_model(kind, dnn::Dataset::ImageNet).expect("models build");
+        let split = g.activation_split();
+        ActivationRow {
+            model: kind.to_string(),
+            sequential: split.sequential,
+            skip: split.skip,
+            linear_over_skip: split.sequential as f64 / split.skip.max(1) as f64,
+            skip_fraction: split.skip_fraction(),
+        }
+    })
+    .collect()
 }
 
 #[cfg(test)]
@@ -358,7 +366,10 @@ mod tests {
         assert_eq!(r.arch, "Floret");
         assert_eq!(r.workload, "WL1");
         assert!(r.total_traffic_bytes > 0);
-        assert!(r.noi_energy_pj > r.noi_dynamic_energy_pj, "static share present");
+        assert!(
+            r.noi_energy_pj > r.noi_dynamic_energy_pj,
+            "static share present"
+        );
     }
 
     #[test]

@@ -168,18 +168,24 @@ pub fn evaluate_transformer(platform: TransformerPlatform, cfg: &HeteroConfig) -
         TransformerPlatform::AllPim => {
             // Attention operands must be programmed into crossbars: every
             // intermediate element is a cell write (bit-sliced).
-            let writes = layers
-                * bert.intermediates_per_layer(cfg.seq)
-                * cfg.pim.cells_per_weight() as u64;
+            let writes =
+                layers * bert.intermediates_per_layer(cfg.seq) * cfg.pim.cells_per_weight() as u64;
             let write_ns = writes as f64 / (bert.heads as f64) * cfg.pim.write_ns
                 / cfg.pim.crossbars_per_node as f64; // head-/array-parallel programming
-            let dyn_ns = pim_latency_ns(dynamic_macs_per_layer(bert, cfg.seq), cfg.seq, cfg.seq, &cfg.pim);
+            let dyn_ns = pim_latency_ns(
+                dynamic_macs_per_layer(bert, cfg.seq),
+                cfg.seq,
+                cfg.seq,
+                &cfg.pim,
+            );
             let latency_ns = layers as f64 * (per_layer_static_ns + dyn_ns) + write_ns;
             let energy_pj = (static_macs + dynamic_macs) as f64 * cfg.pim.e_mac_pj
                 + writes as f64 * cfg.pim.write_energy_pj;
             let lifetime = dnn::lifetime_inferences(
                 writes,
-                pim_chiplets_needed * cfg.pim.weights_per_node() * cfg.pim.cells_per_weight() as u64,
+                pim_chiplets_needed
+                    * cfg.pim.weights_per_node()
+                    * cfg.pim.cells_per_weight() as u64,
                 cfg.pim.endurance,
             );
             TransformerEval {
@@ -221,10 +227,9 @@ pub fn evaluate_transformer(platform: TransformerPlatform, cfg: &HeteroConfig) -
             let per_layer_bytes = 4 * s * h * cfg.activation_bytes;
             let noi_bytes = layers * per_layer_bytes;
             let hop_ns = cfg.hw.hop_cycles(1) as f64 * cfg.hw.cycle_ns();
-            let per_layer_xfer_ns = hop_ns
-                + cfg.hw.serialization_cycles(per_layer_bytes) as f64 * cfg.hw.cycle_ns();
-            let latency_ns =
-                layers as f64 * (per_layer_static_ns + dyn_ns + per_layer_xfer_ns);
+            let per_layer_xfer_ns =
+                hop_ns + cfg.hw.serialization_cycles(per_layer_bytes) as f64 * cfg.hw.cycle_ns();
+            let latency_ns = layers as f64 * (per_layer_static_ns + dyn_ns + per_layer_xfer_ns);
             let xfer_bits = noi_bytes * 8;
             let energy_pj = static_macs as f64 * cfg.pim.e_mac_pj
                 + dynamic_macs as f64 * cfg.digital_mac_pj
@@ -269,7 +274,10 @@ mod tests {
 
     #[test]
     fn hetero_and_digital_have_no_wearout() {
-        for p in [TransformerPlatform::AllDigital, TransformerPlatform::Heterogeneous] {
+        for p in [
+            TransformerPlatform::AllDigital,
+            TransformerPlatform::Heterogeneous,
+        ] {
             let eval = evaluate_transformer(p, &cfg());
             assert_eq!(eval.crossbar_writes, 0);
             assert!(eval.sustainable());
@@ -294,7 +302,10 @@ mod tests {
     fn hetero_beats_all_pim_on_latency_and_lifetime() {
         let p = evaluate_transformer(TransformerPlatform::AllPim, &cfg());
         let het = evaluate_transformer(TransformerPlatform::Heterogeneous, &cfg());
-        assert!(het.latency_ns < p.latency_ns, "write stalls must hurt all-PIM");
+        assert!(
+            het.latency_ns < p.latency_ns,
+            "write stalls must hurt all-PIM"
+        );
         assert!(het.lifetime_inferences > p.lifetime_inferences);
     }
 

@@ -4,9 +4,7 @@
 use std::collections::BTreeMap;
 
 use dnn::{build_model, SegmentGraph, Workload};
-use mapper::{
-    placement_transfers, run_churn, run_queue, ChurnOutcome, QueueOutcome, Strategy,
-};
+use mapper::{placement_transfers, run_churn, run_queue, ChurnOutcome, QueueOutcome, Strategy};
 use netsim::{analyze_with_table, sample_flows, simulate_with_table, Flow, RouteTable, SimConfig};
 use serde::{Deserialize, Serialize};
 use topology::{FloretLayout, Topology, TopologyError, TopologySummary};
@@ -405,7 +403,9 @@ mod tests {
         let floret = Platform25D::new(NoiArch::Floret { lambda: 6 }, &cfg)
             .unwrap()
             .run_workload(&wl);
-        let kite = Platform25D::new(NoiArch::Kite, &cfg).unwrap().run_workload(&wl);
+        let kite = Platform25D::new(NoiArch::Kite, &cfg)
+            .unwrap()
+            .run_workload(&wl);
         assert!(
             kite.sim_latency_cycles > floret.sim_latency_cycles,
             "kite {} vs floret {}",

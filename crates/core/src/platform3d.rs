@@ -457,6 +457,9 @@ mod tests {
         let map = p.power_map(&sg, &placement);
         let static_total = cfg.pim.static_power_w * cfg.node_count() as f64;
         assert!(map.total_w() > static_total, "dynamic power must appear");
-        assert!(map.total_w() < static_total + 200.0, "power must be bounded");
+        assert!(
+            map.total_w() < static_total + 200.0,
+            "power must be bounded"
+        );
     }
 }

@@ -420,7 +420,12 @@ impl GraphBuilder {
     /// Returns [`GraphError::UnknownLayer`] if `from` does not exist.
     pub fn relu(&mut self, from: LayerId, name: &str) -> Result<LayerId, GraphError> {
         let s = self.shape_of(from)?;
-        Ok(self.push(&[(from, EdgeKind::Sequential)], name, LayerKind::Activation, s))
+        Ok(self.push(
+            &[(from, EdgeKind::Sequential)],
+            name,
+            LayerKind::Activation,
+            s,
+        ))
     }
 
     /// Joins a main branch and a residual shortcut with elementwise
@@ -430,12 +435,7 @@ impl GraphBuilder {
     ///
     /// Returns [`GraphError::ShapeMismatch`] when the branch shapes differ
     /// and [`GraphError::UnknownLayer`] for invalid ids.
-    pub fn add(
-        &mut self,
-        main: LayerId,
-        skip: LayerId,
-        name: &str,
-    ) -> Result<LayerId, GraphError> {
+    pub fn add(&mut self, main: LayerId, skip: LayerId, name: &str) -> Result<LayerId, GraphError> {
         let sm = self.shape_of(main)?;
         let ss = self.shape_of(skip)?;
         if sm != ss {
@@ -516,7 +516,15 @@ impl GraphBuilder {
         stride: u32,
         padding: u32,
     ) -> Result<LayerId, GraphError> {
-        let c = self.conv(from, &format!("{name}.conv"), out_c, kernel, stride, padding, false)?;
+        let c = self.conv(
+            from,
+            &format!("{name}.conv"),
+            out_c,
+            kernel,
+            stride,
+            padding,
+            false,
+        )?;
         let b = self.batchnorm(c, &format!("{name}.bn"))?;
         self.relu(b, &format!("{name}.relu"))
     }

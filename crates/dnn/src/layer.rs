@@ -158,7 +158,10 @@ impl Layer {
     pub fn macs(&self) -> u64 {
         match self.kind {
             LayerKind::Conv2d {
-                in_c, out_c, kernel, ..
+                in_c,
+                out_c,
+                kernel,
+                ..
             } => {
                 let spatial = self.out_shape.h as u64 * self.out_shape.w as u64;
                 debug_assert_eq!(self.out_shape.c, out_c);

@@ -16,7 +16,15 @@ fn dense_layer(
 ) -> Result<LayerId, GraphError> {
     let b1 = g.batchnorm(concat_in, &format!("{name}.bn1"))?;
     let r1 = g.relu(b1, &format!("{name}.relu1"))?;
-    let c1 = g.conv(r1, &format!("{name}.conv1"), bn_size * growth, 1, 1, 0, false)?;
+    let c1 = g.conv(
+        r1,
+        &format!("{name}.conv1"),
+        bn_size * growth,
+        1,
+        1,
+        0,
+        false,
+    )?;
     let b2 = g.batchnorm(c1, &format!("{name}.bn2"))?;
     let r2 = g.relu(b2, &format!("{name}.relu2"))?;
     g.conv(r2, &format!("{name}.conv2"), growth, 3, 1, 1, false)
@@ -95,7 +103,6 @@ pub fn densenet121(dataset: Dataset) -> Result<LayerGraph, GraphError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::EdgeKind;
 
     #[test]
     fn densenet169_params_match_torchvision() {
@@ -117,7 +124,10 @@ mod tests {
     fn densenet_has_dense_edges() {
         let g = densenet121(Dataset::ImageNet).unwrap();
         let split = g.activation_split();
-        assert!(split.dense > 0, "dense connectivity must produce Dense edges");
+        assert!(
+            split.dense > 0,
+            "dense connectivity must produce Dense edges"
+        );
         assert!(
             split.dense > split.sequential / 10,
             "dense re-use traffic should be substantial"

@@ -19,7 +19,15 @@ fn basic_conv(
     stride: u32,
     padding: u32,
 ) -> Result<LayerId, GraphError> {
-    let c = g.conv(from, &format!("{name}.conv"), out_c, kernel, stride, padding, false)?;
+    let c = g.conv(
+        from,
+        &format!("{name}.conv"),
+        out_c,
+        kernel,
+        stride,
+        padding,
+        false,
+    )?;
     let b = g.batchnorm(c, &format!("{name}.bn"))?;
     g.relu(b, &format!("{name}.relu"))
 }
@@ -63,10 +71,7 @@ pub fn googlenet(dataset: Dataset) -> Result<LayerGraph, GraphError> {
         Dataset::Cifar10 => basic_conv(&mut g, x, "stem.conv1", 192, 3, 1, 1)?,
     };
 
-    let stage3: [InceptionCfg; 2] = [
-        (64, 96, 128, 16, 32, 32),
-        (128, 128, 192, 32, 96, 64),
-    ];
+    let stage3: [InceptionCfg; 2] = [(64, 96, 128, 16, 32, 32), (128, 128, 192, 32, 96, 64)];
     let stage4: [InceptionCfg; 5] = [
         (192, 96, 208, 16, 48, 64),
         (160, 112, 224, 24, 64, 64),
@@ -74,21 +79,36 @@ pub fn googlenet(dataset: Dataset) -> Result<LayerGraph, GraphError> {
         (112, 144, 288, 32, 64, 64),
         (256, 160, 320, 32, 128, 128),
     ];
-    let stage5: [InceptionCfg; 2] = [
-        (256, 160, 320, 32, 128, 128),
-        (384, 192, 384, 48, 128, 128),
-    ];
+    let stage5: [InceptionCfg; 2] = [(256, 160, 320, 32, 128, 128), (384, 192, 384, 48, 128, 128)];
 
     for (i, &cfg) in stage3.iter().enumerate() {
-        cur = inception(&mut g, cur, &format!("inception3{}", (b'a' + i as u8) as char), cfg, double_b3)?;
+        cur = inception(
+            &mut g,
+            cur,
+            &format!("inception3{}", (b'a' + i as u8) as char),
+            cfg,
+            double_b3,
+        )?;
     }
     cur = g.max_pool(cur, "pool3", 3, 2, 1)?;
     for (i, &cfg) in stage4.iter().enumerate() {
-        cur = inception(&mut g, cur, &format!("inception4{}", (b'a' + i as u8) as char), cfg, double_b3)?;
+        cur = inception(
+            &mut g,
+            cur,
+            &format!("inception4{}", (b'a' + i as u8) as char),
+            cfg,
+            double_b3,
+        )?;
     }
     cur = g.max_pool(cur, "pool4", 3, 2, 1)?;
     for (i, &cfg) in stage5.iter().enumerate() {
-        cur = inception(&mut g, cur, &format!("inception5{}", (b'a' + i as u8) as char), cfg, double_b3)?;
+        cur = inception(
+            &mut g,
+            cur,
+            &format!("inception5{}", (b'a' + i as u8) as char),
+            cfg,
+            double_b3,
+        )?;
     }
     let p = g.global_avg_pool(cur, "gap")?;
     g.linear(p, "fc", dataset.classes(), true)?;

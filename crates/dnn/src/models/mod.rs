@@ -7,5 +7,7 @@ mod vgg;
 
 pub use densenet::{densenet121, densenet169};
 pub use googlenet::googlenet;
-pub use resnet::{resnet101, resnet110, resnet152, resnet18, resnet20, resnet34, resnet50, resnet56};
+pub use resnet::{
+    resnet101, resnet110, resnet152, resnet18, resnet20, resnet34, resnet50, resnet56,
+};
 pub use vgg::{vgg11, vgg19};

@@ -27,7 +27,15 @@ fn basic_block(
     let c2 = g.conv(r1, &format!("{name}.conv2"), out_c, 3, 1, 1, false)?;
     let b2 = g.batchnorm(c2, &format!("{name}.bn2"))?;
     let shortcut = if stride != 1 || in_c != out_c {
-        let ds = g.conv(from, &format!("{name}.downsample.conv"), out_c, 1, stride, 0, false)?;
+        let ds = g.conv(
+            from,
+            &format!("{name}.downsample.conv"),
+            out_c,
+            1,
+            stride,
+            0,
+            false,
+        )?;
         g.batchnorm(ds, &format!("{name}.downsample.bn"))?
     } else {
         from
@@ -55,7 +63,15 @@ fn bottleneck_block(
     let c3 = g.conv(r2, &format!("{name}.conv3"), out_c, 1, 1, 0, false)?;
     let b3 = g.batchnorm(c3, &format!("{name}.bn3"))?;
     let shortcut = if stride != 1 || in_c != out_c {
-        let ds = g.conv(from, &format!("{name}.downsample.conv"), out_c, 1, stride, 0, false)?;
+        let ds = g.conv(
+            from,
+            &format!("{name}.downsample.conv"),
+            out_c,
+            1,
+            stride,
+            0,
+            false,
+        )?;
         g.batchnorm(ds, &format!("{name}.downsample.bn"))?
     } else {
         from

@@ -142,7 +142,10 @@ impl SegmentGraph {
                 owner[li] = sid.0;
                 let (weight_rows, weight_cols) = match layer.kind {
                     crate::layer::LayerKind::Conv2d {
-                        in_c, out_c, kernel, ..
+                        in_c,
+                        out_c,
+                        kernel,
+                        ..
                     } => (in_c * kernel * kernel, out_c),
                     crate::layer::LayerKind::Linear { in_f, out_f, .. } => (in_f, out_f),
                     _ => (0, 0),
@@ -242,7 +245,11 @@ mod tests {
     fn resnet_segments_have_skip_edges() {
         let g = resnet18(Dataset::ImageNet).unwrap();
         let sg = SegmentGraph::from_layer_graph(&g);
-        let skips = sg.edges().iter().filter(|e| e.kind == EdgeKind::Skip).count();
+        let skips = sg
+            .edges()
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Skip)
+            .count();
         assert!(skips >= 4, "resnet18 segment graph keeps skip edges");
     }
 

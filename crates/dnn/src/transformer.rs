@@ -192,14 +192,20 @@ mod tests {
     fn base_param_count_is_110m() {
         let cfg = BertConfig::base();
         let total = cfg.total_weights() as f64 / 1e6;
-        assert!((total - 110.0).abs() < 2.0, "BERT-Base ~110M params, got {total}M");
+        assert!(
+            (total - 110.0).abs() < 2.0,
+            "BERT-Base ~110M params, got {total}M"
+        );
     }
 
     #[test]
     fn tiny_param_count_is_4m() {
         let cfg = BertConfig::tiny();
         let total = cfg.total_weights() as f64 / 1e6;
-        assert!((total - 4.4).abs() < 0.3, "BERT-Tiny ~4.4M params, got {total}M");
+        assert!(
+            (total - 4.4).abs() < 0.3,
+            "BERT-Tiny ~4.4M params, got {total}M"
+        );
     }
 
     #[test]
@@ -220,7 +226,10 @@ mod tests {
         let cfg = BertConfig::tiny();
         let low = cfg.layer_storage_ratio(128, 1, 1);
         let high = cfg.attention_storage_ratio(128, 2, 1);
-        assert!(low < 2.06 && 2.06 < high, "paper value must sit in [{low}, {high}]");
+        assert!(
+            low < 2.06 && 2.06 < high,
+            "paper value must sit in [{low}, {high}]"
+        );
     }
 
     #[test]
@@ -229,7 +238,10 @@ mod tests {
         let i256 = cfg.intermediates_per_layer(256) as f64;
         let i512 = cfg.intermediates_per_layer(512) as f64;
         let growth = i512 / i256;
-        assert!(growth > 2.0, "score matrices grow with seq^2 (got {growth})");
+        assert!(
+            growth > 2.0,
+            "score matrices grow with seq^2 (got {growth})"
+        );
         assert!(growth < 4.0);
     }
 

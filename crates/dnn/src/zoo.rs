@@ -115,19 +115,84 @@ pub fn table1() -> Vec<Table1Entry> {
     use Dataset::{Cifar10, ImageNet};
     use ModelKind::*;
     vec![
-        Table1Entry { id: "M1", kind: ResNet18, dataset: ImageNet, paper_params_m: 24.76 },
-        Table1Entry { id: "M2", kind: ResNet34, dataset: ImageNet, paper_params_m: 36.5 },
-        Table1Entry { id: "M3", kind: ResNet50, dataset: ImageNet, paper_params_m: 25.94 },
-        Table1Entry { id: "M4", kind: ResNet101, dataset: ImageNet, paper_params_m: 9.42 },
-        Table1Entry { id: "M5", kind: ResNet110, dataset: ImageNet, paper_params_m: 43.6 },
-        Table1Entry { id: "M6", kind: ResNet152, dataset: ImageNet, paper_params_m: 54.84 },
-        Table1Entry { id: "M7", kind: Vgg19, dataset: ImageNet, paper_params_m: 93.4 },
-        Table1Entry { id: "M8", kind: DenseNet169, dataset: ImageNet, paper_params_m: 54.84 },
-        Table1Entry { id: "M9", kind: ResNet18, dataset: Cifar10, paper_params_m: 11.22 },
-        Table1Entry { id: "M10", kind: ResNet34, dataset: Cifar10, paper_params_m: 21.34 },
-        Table1Entry { id: "M11", kind: Vgg11, dataset: Cifar10, paper_params_m: 9.62 },
-        Table1Entry { id: "M12", kind: Vgg19, dataset: Cifar10, paper_params_m: 20.42 },
-        Table1Entry { id: "M13", kind: GoogLeNet, dataset: Cifar10, paper_params_m: 6.16 },
+        Table1Entry {
+            id: "M1",
+            kind: ResNet18,
+            dataset: ImageNet,
+            paper_params_m: 24.76,
+        },
+        Table1Entry {
+            id: "M2",
+            kind: ResNet34,
+            dataset: ImageNet,
+            paper_params_m: 36.5,
+        },
+        Table1Entry {
+            id: "M3",
+            kind: ResNet50,
+            dataset: ImageNet,
+            paper_params_m: 25.94,
+        },
+        Table1Entry {
+            id: "M4",
+            kind: ResNet101,
+            dataset: ImageNet,
+            paper_params_m: 9.42,
+        },
+        Table1Entry {
+            id: "M5",
+            kind: ResNet110,
+            dataset: ImageNet,
+            paper_params_m: 43.6,
+        },
+        Table1Entry {
+            id: "M6",
+            kind: ResNet152,
+            dataset: ImageNet,
+            paper_params_m: 54.84,
+        },
+        Table1Entry {
+            id: "M7",
+            kind: Vgg19,
+            dataset: ImageNet,
+            paper_params_m: 93.4,
+        },
+        Table1Entry {
+            id: "M8",
+            kind: DenseNet169,
+            dataset: ImageNet,
+            paper_params_m: 54.84,
+        },
+        Table1Entry {
+            id: "M9",
+            kind: ResNet18,
+            dataset: Cifar10,
+            paper_params_m: 11.22,
+        },
+        Table1Entry {
+            id: "M10",
+            kind: ResNet34,
+            dataset: Cifar10,
+            paper_params_m: 21.34,
+        },
+        Table1Entry {
+            id: "M11",
+            kind: Vgg11,
+            dataset: Cifar10,
+            paper_params_m: 9.62,
+        },
+        Table1Entry {
+            id: "M12",
+            kind: Vgg19,
+            dataset: Cifar10,
+            paper_params_m: 20.42,
+        },
+        Table1Entry {
+            id: "M13",
+            kind: GoogLeNet,
+            dataset: Cifar10,
+            paper_params_m: 6.16,
+        },
     ]
 }
 

@@ -104,8 +104,12 @@ pub fn run_poisson(
     let mut next_arrival = 0usize;
     let mut admitted_at: Vec<f64> = vec![0.0; tasks.len()];
 
-    let advance = |now: f64, last: &mut f64, ui: &mut f64, ri: &mut f64,
-                       ledger: &CapacityLedger, resident: usize| {
+    let advance = |now: f64,
+                   last: &mut f64,
+                   ui: &mut f64,
+                   ri: &mut f64,
+                   ledger: &CapacityLedger,
+                   resident: usize| {
         let dt = now - *last;
         *ui += ledger.utilization() * dt;
         *ri += resident as f64 * dt;
@@ -129,7 +133,14 @@ pub fn run_poisson(
             (None, None) => break,
         };
         now = event_t;
-        advance(now, &mut last_event, &mut util_integral, &mut resident_integral, &ledger, resident);
+        advance(
+            now,
+            &mut last_event,
+            &mut util_integral,
+            &mut resident_integral,
+            &ledger,
+            resident,
+        );
 
         if is_arrival {
             queue.push_back(next_arrival);
@@ -151,14 +162,9 @@ pub fn run_poisson(
                             tp
                         })
                 }
-                Strategy::Greedy { topo, apsp, cfg } => crate::greedy::map_task_greedy(
-                    &mut ledger,
-                    topo,
-                    apsp,
-                    task,
-                    &tasks[idx],
-                    cfg,
-                ),
+                Strategy::Greedy { topo, apsp, cfg } => {
+                    crate::greedy::map_task_greedy(&mut ledger, topo, apsp, task, &tasks[idx], cfg)
+                }
             };
             match mapped {
                 Ok(tp) => {
@@ -244,7 +250,12 @@ mod tests {
         let s = sfc_strategy();
         let l = run_poisson(&t, 100, 1_000_000, &s, &light);
         let h = run_poisson(&t, 100, 1_000_000, &s, &heavy);
-        assert!(h.utilization > l.utilization, "{} vs {}", h.utilization, l.utilization);
+        assert!(
+            h.utilization > l.utilization,
+            "{} vs {}",
+            h.utilization,
+            l.utilization
+        );
         assert!(h.mean_wait >= l.mean_wait);
         assert!(h.mean_resident > l.mean_resident);
     }
@@ -281,7 +292,11 @@ mod tests {
             100,
             1_000_000,
             &sfc_strategy(),
-            &ArrivalConfig { mean_interarrival: 0.3, mean_service: 10.0, seed: 42 },
+            &ArrivalConfig {
+                mean_interarrival: 0.3,
+                mean_service: 10.0,
+                seed: 42,
+            },
         );
         assert!(out.mean_wait >= 0.0);
         assert!(out.mean_wait < out.makespan);

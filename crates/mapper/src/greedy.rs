@@ -103,10 +103,7 @@ pub fn map_task_greedy(
             if !cur_nodes.contains(&node) {
                 cur_nodes.push(node);
             }
-            shares.push(NodeShare {
-                node,
-                weights: got,
-            });
+            shares.push(NodeShare { node, weights: got });
         }
         if !cur_nodes.is_empty() {
             prev_nodes = cur_nodes;
@@ -141,15 +138,13 @@ fn pick_nearest(
     if anchor.is_empty() {
         // Task start: maximize free capacity in the 2-hop neighborhood.
         let mut best: Option<(usize, NodeId)> = None;
-        for i in 0..topo.node_count() {
+        for (i, apsp_row) in apsp.iter().enumerate().take(topo.node_count()) {
             let n = NodeId(i as u32);
             if !ledger.available_to(n, task) {
                 continue;
             }
             let free_near = (0..topo.node_count())
-                .filter(|&j| {
-                    apsp[i][j] <= 2 && ledger.available_to(NodeId(j as u32), task)
-                })
+                .filter(|&j| apsp_row[j] <= 2 && ledger.available_to(NodeId(j as u32), task))
                 .count();
             match best {
                 None => best = Some((free_near, n)),
@@ -163,6 +158,9 @@ fn pick_nearest(
         return best.map(|(_, n)| n);
     }
     let mut best: Option<(u32, NodeId)> = None;
+    // `i` is a *column* of `apsp` here (distance from each anchor row), so
+    // the range loop stays.
+    #[allow(clippy::needless_range_loop)]
     for i in 0..topo.node_count() {
         let n = NodeId(i as u32);
         if !ledger.available_to(n, task) {

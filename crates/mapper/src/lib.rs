@@ -34,9 +34,9 @@ mod transfers;
 
 pub use arrivals::{run_poisson, ArrivalConfig, ServiceOutcome};
 pub use greedy::{map_task_greedy, GreedyConfig};
-pub use placement::{
-    CapacityLedger, MapError, NodeShare, SegmentPlacement, TaskId, TaskPlacement,
+pub use placement::{CapacityLedger, MapError, NodeShare, SegmentPlacement, TaskId, TaskPlacement};
+pub use scheduler::{
+    run_churn, run_churn_with_ledger, run_queue, ChurnOutcome, QueueOutcome, Strategy, Wave,
 };
-pub use scheduler::{run_churn, run_churn_with_ledger, run_queue, ChurnOutcome, QueueOutcome, Strategy, Wave};
 pub use sfc::{contiguity_score, map_task_sfc, sfc_order};
 pub use transfers::{placement_transfers, wave_transfers, Transfer};

@@ -75,11 +75,7 @@ pub struct TaskPlacement {
 impl TaskPlacement {
     /// Distinct chiplets used by this task.
     pub fn used_nodes(&self) -> Vec<NodeId> {
-        let mut nodes: Vec<NodeId> = self
-            .segments
-            .iter()
-            .flat_map(|s| s.nodes())
-            .collect();
+        let mut nodes: Vec<NodeId> = self.segments.iter().flat_map(|s| s.nodes()).collect();
         nodes.sort_unstable();
         nodes.dedup();
         nodes
@@ -314,13 +310,22 @@ mod tests {
             segments: vec![
                 SegmentPlacement {
                     segment: SegmentId(0),
-                    shares: vec![NodeShare { node: NodeId(1), weights: 5 }],
+                    shares: vec![NodeShare {
+                        node: NodeId(1),
+                        weights: 5,
+                    }],
                 },
                 SegmentPlacement {
                     segment: SegmentId(1),
                     shares: vec![
-                        NodeShare { node: NodeId(1), weights: 5 },
-                        NodeShare { node: NodeId(2), weights: 5 },
+                        NodeShare {
+                            node: NodeId(1),
+                            weights: 5,
+                        },
+                        NodeShare {
+                            node: NodeId(2),
+                            weights: 5,
+                        },
                     ],
                 },
             ],

@@ -177,7 +177,6 @@ pub fn run_queue(
                     },
                 ));
                 cursor = 0; // wave close empties the system
-
             }
         }
     }
@@ -243,9 +242,8 @@ pub fn run_churn_with_ledger(
     let mut snapshots: Vec<Vec<TaskId>> = Vec::new();
     let mut cursor = 0usize;
 
-    for idx in 0..tasks.len() {
+    for (idx, sg) in tasks.iter().enumerate() {
         let task = TaskId(idx as u32);
-        let sg = &tasks[idx];
         loop {
             match strategy.map_task(&mut ledger, &mut cursor, task, sg) {
                 Ok(tp) => {
@@ -268,9 +266,7 @@ pub fn run_churn_with_ledger(
                                 };
                                 map_task_greedy(&mut ledger, topo, apsp, task, sg, &cfg)
                             }
-                            Strategy::Sfc { order } => {
-                                map_task_sfc(&mut ledger, order, task, sg)
-                            }
+                            Strategy::Sfc { order } => map_task_sfc(&mut ledger, order, task, sg),
                         };
                         match relaxed {
                             Ok(tp) => {

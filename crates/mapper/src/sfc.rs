@@ -84,10 +84,7 @@ pub fn map_task_sfc_from(
             let got = ledger.take(node, task, remaining);
             debug_assert!(got > 0);
             remaining -= got;
-            shares.push(NodeShare {
-                node,
-                weights: got,
-            });
+            shares.push(NodeShare { node, weights: got });
             if ledger.free_on(node) == 0 {
                 cursor += 1;
                 steps += 1;
@@ -163,7 +160,11 @@ mod tests {
         let tp = map_task_sfc(&mut led, &order, TaskId(0), &sg).unwrap();
         // ~11.7M weights over 2M/chiplet -> 6 chiplets...
         let used = tp.used_nodes();
-        assert!(used.len() >= 6, "expected multi-chiplet task, used {}", used.len());
+        assert!(
+            used.len() >= 6,
+            "expected multi-chiplet task, used {}",
+            used.len()
+        );
         // ...and they must be exactly the first chiplets of the SFC order.
         let expect: Vec<NodeId> = order[..used.len()].to_vec();
         let mut sorted_expect = expect.clone();
@@ -181,7 +182,10 @@ mod tests {
         let t1 = map_task_sfc(&mut led, &order, TaskId(1), &sg).unwrap();
         let n0 = t0.used_nodes();
         let n1 = t1.used_nodes();
-        assert!(n0.iter().all(|n| !n1.contains(n)), "tasks never share chiplets");
+        assert!(
+            n0.iter().all(|n| !n1.contains(n)),
+            "tasks never share chiplets"
+        );
         // Task 1 continues where task 0 stopped (possibly sharing boundary
         // chiplet is forbidden, so it starts at the next free one).
         let pos: std::collections::HashMap<NodeId, usize> =
@@ -207,7 +211,11 @@ mod tests {
         let used_before = led.used_nodes();
         led.release_task(TaskId(0));
         let t1 = map_task_sfc(&mut led, &order, TaskId(1), &sg).unwrap();
-        assert_eq!(t0.used_nodes(), t1.used_nodes(), "freed chiplets reassigned");
+        assert_eq!(
+            t0.used_nodes(),
+            t1.used_nodes(),
+            "freed chiplets reassigned"
+        );
         assert_eq!(led.used_nodes(), used_before);
     }
 

@@ -149,8 +149,14 @@ mod tests {
     #[test]
     fn transfer_volume_scales_with_bytes_per_element() {
         let (tp, sg) = mapped_resnet18(1_000_000);
-        let t1: u64 = placement_transfers(&tp, &sg, 1).iter().map(|t| t.bytes).sum();
-        let t2: u64 = placement_transfers(&tp, &sg, 2).iter().map(|t| t.bytes).sum();
+        let t1: u64 = placement_transfers(&tp, &sg, 1)
+            .iter()
+            .map(|t| t.bytes)
+            .sum();
+        let t2: u64 = placement_transfers(&tp, &sg, 2)
+            .iter()
+            .map(|t| t.bytes)
+            .sum();
         let ratio = t2 as f64 / t1 as f64;
         assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
     }
@@ -158,9 +164,15 @@ mod tests {
     #[test]
     fn transfer_volume_bounded_by_edge_volume() {
         let (tp, sg) = mapped_resnet18(1_000_000);
-        let total: u64 = placement_transfers(&tp, &sg, 1).iter().map(|t| t.bytes).sum();
+        let total: u64 = placement_transfers(&tp, &sg, 1)
+            .iter()
+            .map(|t| t.bytes)
+            .sum();
         let upper: u64 = sg.edges().iter().map(|e| e.volume).sum();
-        assert!(total <= upper + sg.edges().len() as u64, "{total} > {upper}");
+        assert!(
+            total <= upper + sg.edges().len() as u64,
+            "{total} > {upper}"
+        );
     }
 
     #[test]

@@ -256,7 +256,12 @@ mod tests {
         let hw = HwParams::default();
         let src = topo.node_at(Coord::new2(0, 0)).unwrap();
         let dst = topo.node_at(Coord::new2(4, 4)).unwrap();
-        let one = simulate(&topo, &hw, &[Flow::new(src, dst, 1024)], &SimConfig::default());
+        let one = simulate(
+            &topo,
+            &hw,
+            &[Flow::new(src, dst, 1024)],
+            &SimConfig::default(),
+        );
         let flows: Vec<Flow> = (0..8).map(|_| Flow::new(src, dst, 1024)).collect();
         let many = simulate(&topo, &hw, &flows, &SimConfig::default());
         assert!(many.makespan_cycles > one.makespan_cycles);
@@ -268,7 +273,13 @@ mod tests {
         let topo = mesh5();
         let hw = HwParams::default();
         let flows: Vec<Flow> = (0..20)
-            .map(|i| Flow::new(NodeId(i % 25), NodeId((i * 7 + 3) % 25), 500 + i as u64 * 37))
+            .map(|i| {
+                Flow::new(
+                    NodeId(i % 25),
+                    NodeId((i * 7 + 3) % 25),
+                    500 + i as u64 * 37,
+                )
+            })
             .collect();
         let a = simulate(&topo, &hw, &flows, &SimConfig::default());
         let b = simulate(&topo, &hw, &flows, &SimConfig::default());

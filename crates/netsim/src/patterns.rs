@@ -73,7 +73,8 @@ pub fn generate_pattern(
                 // Swap x/y, clamped into the (possibly non-square) grid.
                 let tx = c.y.min(max_x);
                 let ty = c.x.min(max_y);
-                topo.node_at(topology::Coord::new3(tx, ty, c.z)).unwrap_or(src)
+                topo.node_at(topology::Coord::new3(tx, ty, c.z))
+                    .unwrap_or(src)
             }
             TrafficPattern::Hotspot => {
                 if rng.random::<f64>() < 0.3 {
@@ -130,7 +131,11 @@ mod tests {
         // helps.
         let topo = mesh2d(6, 6).unwrap();
         let hw = HwParams::default();
-        let neighbor = analyze(&topo, &hw, &generate_pattern(&topo, TrafficPattern::Neighbor, 256, 1));
+        let neighbor = analyze(
+            &topo,
+            &hw,
+            &generate_pattern(&topo, TrafficPattern::Neighbor, 256, 1),
+        );
         let uniform = analyze(
             &topo,
             &hw,
@@ -144,7 +149,11 @@ mod tests {
     fn hotspot_concentrates_load() {
         let topo = mesh2d(6, 6).unwrap();
         let hw = HwParams::default();
-        let hot = analyze(&topo, &hw, &generate_pattern(&topo, TrafficPattern::Hotspot, 256, 2));
+        let hot = analyze(
+            &topo,
+            &hw,
+            &generate_pattern(&topo, TrafficPattern::Hotspot, 256, 2),
+        );
         let uni = analyze(
             &topo,
             &hw,

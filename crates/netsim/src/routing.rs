@@ -17,12 +17,12 @@ impl RouteTable {
         let cost = |l: &Link| hw.hop_cycles(l.length_hops) as f64;
         let n = topo.node_count();
         let mut next = vec![vec![None; n]; n];
-        for dst in 0..n {
+        for (dst, next_row) in next.iter_mut().enumerate() {
             let res = topo.dijkstra(NodeId(dst as u32), cost);
             // res[v] = (cost, parent link toward dst on the shortest-path
             // tree rooted at dst); the parent link IS the next hop from v.
             for (v, entry) in res.iter().enumerate() {
-                next[dst][v] = entry.1;
+                next_row[v] = entry.1;
             }
         }
         RouteTable { next }

@@ -85,6 +85,9 @@ pub fn crowding_distance(objs: &[Vec<f64>], members: &[usize]) -> Vec<f64> {
         return dist;
     }
     let k = objs[members[0]].len();
+    // `obj` selects a column across many `objs` rows; a range loop is the
+    // direct expression.
+    #[allow(clippy::needless_range_loop)]
     for obj in 0..k {
         let mut order: Vec<usize> = (0..m).collect();
         order.sort_by(|&a, &b| {

@@ -85,7 +85,10 @@ mod tests {
         assert!(dominates(&[1.0, 2.0], &[2.0, 2.0]));
         assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
         assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0]));
-        assert!(!dominates(&[2.0, 2.0], &[2.0, 2.0]), "equal does not dominate");
+        assert!(
+            !dominates(&[2.0, 2.0], &[2.0, 2.0]),
+            "equal does not dominate"
+        );
     }
 
     #[test]

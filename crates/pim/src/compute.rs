@@ -43,15 +43,11 @@ pub fn segment_cost(seg: &Segment, cfg: &PimConfig) -> SegmentCost {
     let crossbars = cfg.crossbars_for_matrix(seg.weight_rows, seg.weight_cols);
     let nodes = crossbars.div_ceil(cfg.crossbars_per_node as u64).max(1);
     let weight_count = seg.weight_rows as u64 * seg.weight_cols as u64;
-    let mvm_count = if weight_count == 0 {
-        1
-    } else {
-        (seg.macs / weight_count).max(1)
-    };
+    let mvm_count = seg.macs.checked_div(weight_count).map_or(1, |v| v.max(1));
     let latency_ns = mvm_count as f64 * cfg.activation_bits as f64 * cfg.read_ns;
     // static_power_w [W] x latency [ns] = nJ; x1e3 converts to pJ.
-    let energy_pj = seg.macs as f64 * cfg.e_mac_pj
-        + cfg.static_power_w * nodes as f64 * latency_ns * 1e3;
+    let energy_pj =
+        seg.macs as f64 * cfg.e_mac_pj + cfg.static_power_w * nodes as f64 * latency_ns * 1e3;
     let capacity = nodes * cfg.weights_per_node();
     let utilization = weight_count as f64 / capacity as f64;
     SegmentCost {
@@ -66,8 +62,7 @@ pub fn segment_cost(seg: &Segment, cfg: &PimConfig) -> SegmentCost {
 /// Cost of programming a segment's weights into its crossbars (done once
 /// per mapping, relevant for dynamic remapping overheads).
 pub fn segment_program_cost(seg: &Segment, cfg: &PimConfig) -> (f64, f64) {
-    let cells =
-        seg.weight_rows as u64 * seg.weight_cols as u64 * cfg.cells_per_weight() as u64;
+    let cells = seg.weight_rows as u64 * seg.weight_cols as u64 * cfg.cells_per_weight() as u64;
     let energy_pj = cells as f64 * cfg.write_energy_pj;
     // Row-parallel programming: one row of cells per pulse.
     let pulses = seg.weight_rows.max(1) as f64 * cfg.cells_per_weight() as f64;
@@ -193,11 +188,7 @@ mod tests {
         let cfg = PimConfig::default();
         let small = &sg.segments()[1];
         let (_, e_small) = segment_program_cost(small, &cfg);
-        let biggest = sg
-            .segments()
-            .iter()
-            .max_by_key(|s| s.params)
-            .unwrap();
+        let biggest = sg.segments().iter().max_by_key(|s| s.params).unwrap();
         let (_, e_big) = segment_program_cost(biggest, &cfg);
         assert!(e_big > e_small);
     }

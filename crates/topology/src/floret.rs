@@ -127,7 +127,7 @@ fn split_lengths(total: u16, parts: u16, force_even: bool) -> Vec<u16> {
         let mut share = (remaining as f64 / left as f64).round() as u16;
         share = share.clamp(1, remaining - (left - 1));
         if force_even && share % 2 == 1 {
-            if share + 1 <= remaining - (left - 1) {
+            if share < remaining - (left - 1) {
                 share += 1;
             } else if share > 1 {
                 share -= 1;
@@ -154,7 +154,12 @@ fn partition_grid(w: u16, h: u16, lambda: u16) -> Vec<Block> {
         let mut blocks = Vec::new();
         let mut x0 = 0;
         for bw in widths {
-            blocks.push(Block { x0, y0: 0, w: bw, h });
+            blocks.push(Block {
+                x0,
+                y0: 0,
+                w: bw,
+                h,
+            });
             x0 += bw;
         }
         return blocks;
@@ -203,7 +208,10 @@ fn ham_loop(bw: u16, bh: u16) -> Vec<(u16, u16)> {
         ham_loop_even_h(bw, bh)
     } else if bw % 2 == 0 {
         // Transpose the even-height construction.
-        ham_loop_even_h(bh, bw).into_iter().map(|(x, y)| (y, x)).collect()
+        ham_loop_even_h(bh, bw)
+            .into_iter()
+            .map(|(x, y)| (y, x))
+            .collect()
     } else {
         // Odd x odd: no Hamiltonian cycle exists; fall back to a serpentine.
         let mut path = Vec::with_capacity(bw as usize * bh as usize);
@@ -293,10 +301,7 @@ pub fn floret(w: u16, h: u16, lambda: u16) -> Result<(Topology, FloretLayout), T
             "lambda={lambda} too large for a {w}x{h} grid"
         )));
     }
-    let mut b = TopologyBuilder::new(
-        TopologyKind::Floret,
-        format!("floret-{w}x{h}-l{lambda}"),
-    );
+    let mut b = TopologyBuilder::new(TopologyKind::Floret, format!("floret-{w}x{h}-l{lambda}"));
     // Dense node ids in row-major grid order so NodeId <-> Coord is stable.
     let mut grid_ids = vec![vec![NodeId(0); w as usize]; h as usize];
     for y in 0..h {
@@ -307,7 +312,10 @@ pub fn floret(w: u16, h: u16, lambda: u16) -> Result<(Topology, FloretLayout), T
 
     let blocks = partition_grid(w, h, lambda);
     debug_assert_eq!(
-        blocks.iter().map(|bl| bl.w as u32 * bl.h as u32).sum::<u32>(),
+        blocks
+            .iter()
+            .map(|bl| bl.w as u32 * bl.h as u32)
+            .sum::<u32>(),
         w as u32 * h as u32,
         "partition must cover the grid exactly"
     );
@@ -412,15 +420,11 @@ pub fn sfc3d(w: u16, h: u16, tiers: u16) -> Result<(Topology, FloretLayout), Top
     let mut order: Vec<NodeId> = Vec::with_capacity((w as usize) * (h as usize) * tiers as usize);
     for (zi, z) in (0..tiers as usize).rev().enumerate() {
         let mut tier_order = Vec::with_capacity((w as usize) * (h as usize));
-        for y in 0..h as usize {
+        for (y, row) in ids[z].iter().enumerate() {
             if y % 2 == 0 {
-                for x in 0..w as usize {
-                    tier_order.push(ids[z][y][x]);
-                }
+                tier_order.extend(row.iter().copied());
             } else {
-                for x in (0..w as usize).rev() {
-                    tier_order.push(ids[z][y][x]);
-                }
+                tier_order.extend(row.iter().rev().copied());
             }
         }
         if zi % 2 == 1 {
@@ -502,7 +506,10 @@ mod tests {
                     }
                 }
             }
-            assert!(cells.iter().flatten().all(|&c| c), "gap for lambda={lambda}");
+            assert!(
+                cells.iter().flatten().all(|&c| c),
+                "gap for lambda={lambda}"
+            );
         }
     }
 
@@ -607,11 +614,7 @@ mod tests {
     #[test]
     fn sfc3d_two_port_interior() {
         let (topo, _) = sfc3d(5, 5, 4).unwrap();
-        let over_two = topo
-            .nodes()
-            .iter()
-            .filter(|n| topo.ports(n.id) > 2)
-            .count();
+        let over_two = topo.nodes().iter().filter(|n| topo.ports(n.id) > 2).count();
         assert_eq!(over_two, 0, "a pure SFC NoC is a path: max two ports");
     }
 
@@ -619,7 +622,11 @@ mod tests {
     fn sfc3d_starts_at_bottom_tier() {
         let (topo, layout) = sfc3d(5, 5, 4).unwrap();
         let order = layout.global_order();
-        assert_eq!(topo.node(order[0]).coord.z, 3, "curve starts farthest from sink");
+        assert_eq!(
+            topo.node(order[0]).coord.z,
+            3,
+            "curve starts farthest from sink"
+        );
         assert_eq!(topo.node(*order.last().unwrap()).coord.z, 0);
     }
 

@@ -123,17 +123,19 @@ pub fn kite(w: u16, h: u16) -> Result<Topology, TopologyError> {
     let mut b = TopologyBuilder::new(TopologyKind::Kite, format!("kite-{w}x{h}"));
     let ids = grid_nodes(&mut b, w, h);
     // Folded ring along every row.
-    for y in 0..h as usize {
+    for row in &ids {
         let ring = folded_ring(w as usize);
         for i in 0..ring.len() {
-            let a = ids[y][ring[i]];
-            let c = ids[y][ring[(i + 1) % ring.len()]];
+            let a = row[ring[i]];
+            let c = row[ring[(i + 1) % ring.len()]];
             if !b.has_link(a, c) {
                 b.add_link(a, c)?;
             }
         }
     }
-    // Folded ring along every column.
+    // Folded ring along every column; `x` picks a column, so rows must be
+    // indexed and the range loop stays.
+    #[allow(clippy::needless_range_loop)]
     for x in 0..w as usize {
         let ring = folded_ring(h as usize);
         for i in 0..ring.len() {
@@ -244,15 +246,11 @@ pub fn swap(w: u16, h: u16, cfg: &SwapConfig) -> Result<Topology, TopologyError>
 
     // Serpentine backbone: row 0 left-to-right, row 1 right-to-left, ...
     let mut order = Vec::with_capacity((w as usize) * (h as usize));
-    for y in 0..h as usize {
+    for (y, row) in ids.iter().enumerate() {
         if y % 2 == 0 {
-            for x in 0..w as usize {
-                order.push(ids[y][x]);
-            }
+            order.extend(row.iter().copied());
         } else {
-            for x in (0..w as usize).rev() {
-                order.push(ids[y][x]);
-            }
+            order.extend(row.iter().rev().copied());
         }
     }
     for pair in order.windows(2) {
@@ -417,11 +415,7 @@ mod tests {
         for n in t.nodes() {
             assert_eq!(t.degree(n.id), 4, "every kite router has 4 ports");
         }
-        let two_hop = t
-            .links()
-            .iter()
-            .filter(|l| l.length_hops == 2)
-            .count() as f64;
+        let two_hop = t.links().iter().filter(|l| l.length_hops == 2).count() as f64;
         assert!(
             two_hop / t.link_count() as f64 > 0.7,
             "kite links are mainly two-hop"

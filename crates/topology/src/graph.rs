@@ -690,9 +690,7 @@ mod tests {
         // 2 * sum_{d=1}^{n-1} d*(n-d).
         let n = 6u32;
         let t = line(n);
-        let expect: u64 = (1..n as u64)
-            .map(|d| 2 * d * (n as u64 - d))
-            .sum::<u64>();
+        let expect: u64 = (1..n as u64).map(|d| 2 * d * (n as u64 - d)).sum::<u64>();
         let avg = expect as f64 / (n as f64 * (n as f64 - 1.0));
         assert!((t.avg_hops() - avg).abs() < 1e-12);
     }

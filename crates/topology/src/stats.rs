@@ -140,7 +140,10 @@ mod tests {
             .filter(|(&p, _)| p <= 2)
             .map(|(_, &c)| c)
             .sum();
-        assert!(two >= 85, "floret must be 2-port dominated, hist={fl_hist:?}");
+        assert!(
+            two >= 85,
+            "floret must be 2-port dominated, hist={fl_hist:?}"
+        );
     }
 
     #[test]

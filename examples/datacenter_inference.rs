@@ -10,8 +10,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = SystemConfig::datacenter_25d();
     let floret = Platform25D::new(NoiArch::Floret { lambda: 6 }, &cfg)?;
 
-    println!("Floret 10x10, lambda=6: {} chiplets of {} weights",
-        cfg.node_count(), cfg.node_capacity());
+    println!(
+        "Floret 10x10, lambda=6: {} chiplets of {} weights",
+        cfg.node_count(),
+        cfg.node_capacity()
+    );
     let layout = floret.layout().expect("floret has a layout");
     println!(
         "petals: {:?}, Eq.(1) mean tail->head distance: {:.2} hops\n",

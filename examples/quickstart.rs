@@ -10,7 +10,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = SystemConfig::datacenter_25d();
     let wl = dataflow_pim::dnn::table2_workload("WL1").expect("WL1 exists");
 
-    println!("workload {}: {} DNN inference tasks", wl.name, wl.task_count());
+    println!(
+        "workload {}: {} DNN inference tasks",
+        wl.name,
+        wl.task_count()
+    );
     println!(
         "{:<8} {:>10} {:>14} {:>14} {:>8}",
         "arch", "area(mm2)", "latency(cyc)", "energy(pJ)", "hops"

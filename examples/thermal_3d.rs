@@ -26,10 +26,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sa = experiments::joint_sa_config();
     let (order, joint) = platform.optimize(&sg, &sa)?;
     println!("\njoint performance-thermal placement:");
-    println!("  EDP            = {:.3e} J*s ({:+.1}%)", joint.edp_js,
-        (joint.edp_js / perf_only.edp_js - 1.0) * 100.0);
-    println!("  peak T         = {:.1} K ({:.1} K cooler)", joint.peak_k,
-        perf_only.peak_k - joint.peak_k);
+    println!(
+        "  EDP            = {:.3e} J*s ({:+.1}%)",
+        joint.edp_js,
+        (joint.edp_js / perf_only.edp_js - 1.0) * 100.0
+    );
+    println!(
+        "  peak T         = {:.1} K ({:.1} K cooler)",
+        joint.peak_k,
+        perf_only.peak_k - joint.peak_k
+    );
     println!("  hotspots >330K = {}", joint.hotspots);
     println!("  accuracy drop  = {:.1}%", joint.accuracy_drop * 100.0);
 
@@ -39,11 +45,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let joint_map = platform.thermal_map(&sg, &platform.place(&sg, &order)?);
     println!("\nbottom-tier temperatures, performance-only (K):");
     for row in sfc_map.tier_slice(bottom) {
-        println!("  {}", row.iter().map(|t| format!("{t:6.1}")).collect::<Vec<_>>().join(" "));
+        println!(
+            "  {}",
+            row.iter()
+                .map(|t| format!("{t:6.1}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
     }
     println!("bottom-tier temperatures, joint (K):");
     for row in joint_map.tier_slice(bottom) {
-        println!("  {}", row.iter().map(|t| format!("{t:6.1}")).collect::<Vec<_>>().join(" "));
+        println!(
+            "  {}",
+            row.iter()
+                .map(|t| format!("{t:6.1}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
     }
     Ok(())
 }

@@ -7,8 +7,14 @@
 use dataflow_pim::dnn::{lifetime_inferences, storage_sweep, BertConfig};
 
 fn main() {
-    for (name, cfg) in [("BERT-Tiny", BertConfig::tiny()), ("BERT-Base", BertConfig::base())] {
-        println!("{name}: {:.1}M parameters", cfg.total_weights() as f64 / 1e6);
+    for (name, cfg) in [
+        ("BERT-Tiny", BertConfig::tiny()),
+        ("BERT-Base", BertConfig::base()),
+    ] {
+        println!(
+            "{name}: {:.1}M parameters",
+            cfg.total_weights() as f64 / 1e6
+        );
         println!(
             "  attention weights/layer: {}, FF weights/layer: {}",
             cfg.attention_weights_per_layer(),

@@ -9,7 +9,13 @@ fn table1_cifar_rows_match_within_six_percent() {
     for r in experiments::table1_rows() {
         if r.dataset == "CIFAR-10" {
             let rel = (r.computed_params_m - r.paper_params_m).abs() / r.paper_params_m;
-            assert!(rel < 0.06, "{}: {} vs {}", r.id, r.computed_params_m, r.paper_params_m);
+            assert!(
+                rel < 0.06,
+                "{}: {} vs {}",
+                r.id,
+                r.computed_params_m,
+                r.paper_params_m
+            );
         }
     }
 }
@@ -42,8 +48,7 @@ fn fig2a_port_profiles_match_paper() {
 
     // SIAM: three- and four-port routers dominate.
     let siam = find("mesh");
-    let p34 = siam.port_histogram.get(&3).unwrap_or(&0)
-        + siam.port_histogram.get(&4).unwrap_or(&0);
+    let p34 = siam.port_histogram.get(&3).unwrap_or(&0) + siam.port_histogram.get(&4).unwrap_or(&0);
     assert!(p34 >= 90);
 
     // SWAP: two- and three-port routers only.
@@ -135,7 +140,11 @@ fn cost_ratios_follow_the_paper_ordering() {
     assert!(ratio("SIAM") > ratio("SWAP"));
     assert!(ratio("SWAP") > 1.0);
     // Paper: Kite costs ~2.8x Floret; accept the 1.8-4x band.
-    assert!((1.8..4.0).contains(&ratio("Kite")), "kite ratio {}", ratio("Kite"));
+    assert!(
+        (1.8..4.0).contains(&ratio("Kite")),
+        "kite ratio {}",
+        ratio("Kite")
+    );
 }
 
 #[test]

@@ -1,0 +1,44 @@
+//! Workspace smoke test: the `src/lib.rs` quickstart path as a real
+//! test, so CI exercises the full `SystemConfig` → `Platform25D` →
+//! workload-report pipeline on every run.
+
+use dataflow_pim::{NoiArch, Platform25D, SystemConfig};
+
+fn run_wl1() -> dataflow_pim::WorkloadReport {
+    let cfg = SystemConfig::datacenter_25d();
+    let platform =
+        Platform25D::new(NoiArch::Floret { lambda: 6 }, &cfg).expect("floret platform builds");
+    let wl = dataflow_pim::dnn::table2_workload("WL1").expect("table workload");
+    platform.run_workload(&wl)
+}
+
+#[test]
+fn quickstart_report_is_finite_and_sane() {
+    let report = run_wl1();
+    assert_eq!(report.arch, "Floret");
+    assert!(report.mapped_tasks > 0, "no tasks mapped");
+    assert_eq!(report.failed_tasks, 0, "tasks failed to map");
+    assert!(report.sim_latency_cycles > 0);
+    assert!(
+        report.noi_energy_pj.is_finite() && report.noi_energy_pj > 0.0,
+        "noi energy {}",
+        report.noi_energy_pj
+    );
+    assert!(
+        report.mean_utilization.is_finite() && report.mean_utilization > 0.0,
+        "mean utilization {}",
+        report.mean_utilization
+    );
+    assert!(report.mean_packet_latency_cycles.is_finite());
+    assert!(report.mean_weighted_hops.is_finite());
+}
+
+#[test]
+fn quickstart_report_is_deterministic() {
+    let a = run_wl1();
+    let b = run_wl1();
+    assert_eq!(
+        a, b,
+        "same config + workload must reproduce bit-identically"
+    );
+}

@@ -52,7 +52,11 @@ fn fig7_hotspots_sit_in_the_bottom_tier() {
     let placement = platform.place(&sg, &platform.sfc_order()).unwrap();
     let map = platform.thermal_map(&sg, &placement);
     let (_, _, z) = map.argmax();
-    assert_eq!(z, cfg.tiers - 1, "performance-only hotspot must be far from the sink");
+    assert_eq!(
+        z,
+        cfg.tiers - 1,
+        "performance-only hotspot must be far from the sink"
+    );
     assert!(map.hotspot_count(330.0) > 0);
 }
 

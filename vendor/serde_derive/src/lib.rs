@@ -1,0 +1,277 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the vendored
+//! `serde` subset. Parses the item with raw `proc_macro` tokens (no
+//! `syn`/`quote` — the build environment is offline) and emits an impl
+//! of `serde::Serialize` that lowers the value into `serde::Value`.
+//!
+//! Supported shapes: non-generic structs (named, tuple, unit) and enums
+//! (unit, tuple and struct variants), which covers every derive site in
+//! this workspace. Unsupported input panics at compile time with a
+//! clear message rather than silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Body {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with N fields.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum: (variant name, variant shape) pairs.
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+/// Derives `serde::Serialize` by lowering into a `serde::Value` tree.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Body::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Seq(::std::vec![{}])", entries.join(", "))
+        }
+        Body::Unit => "serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let name = &item.name;
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    VariantShape::Unit => format!(
+                        "{name}::{v} => serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let vals: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("serde::Value::Seq(::std::vec![{}])", vals.join(", "))
+                        };
+                        format!(
+                            "{name}::{v}({binds}) => serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), {inner})]),",
+                            binds = binds.join(", ")
+                        )
+                    }
+                    VariantShape::Struct(fields) => {
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {fields} }} => serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), \
+                             serde::Value::Map(::std::vec![{entries}]))]),",
+                            fields = fields.join(", "),
+                            entries = entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let out = format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}",
+        name = item.name
+    );
+    out.parse()
+        .expect("derive(Serialize): generated impl should parse")
+}
+
+/// Derives the `serde::Deserialize` marker (nothing in this workspace
+/// actually deserializes; the trait exists so derive sites compile).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("derive(Deserialize): generated impl should parse")
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes and visibility to the `struct` / `enum` keyword.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break "struct",
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break "enum",
+            Some(_) => i += 1,
+            None => panic!("serde derive: expected `struct` or `enum`"),
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (offline subset): generic types are not supported, found on `{name}`");
+    }
+    // Skip a `where` clause if present (scan to the body group / `;`).
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break if kind == "struct" {
+                    Body::Struct(parse_named_fields(g.stream()))
+                } else {
+                    Body::Enum(parse_variants(g.stream()))
+                };
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                break Body::Tuple(count_tuple_fields(g.stream()));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => break Body::Unit,
+            Some(_) => i += 1,
+            None => panic!("serde derive: `{name}` has no body"),
+        }
+    };
+    Item { name, body }
+}
+
+/// Parses `field: Type, ...` returning field names; skips attributes and
+/// visibility, and tracks `<...>` depth so commas inside generic types
+/// do not split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip `#[...]` attributes (doc comments included).
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2; // `#` + bracket group
+        }
+        // Skip `pub` / `pub(...)`.
+        if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        // Skip past `: Type` up to the next top-level comma.
+        let mut angle = 0i32;
+        i += 1;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts top-level comma-separated fields of a tuple struct / variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut saw_trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if idx + 1 == tokens.len() {
+                    saw_trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = saw_trailing_comma;
+    count
+}
+
+/// Parses enum variants: `Name`, `Name(T, ...)`, `Name { f: T, ... }`,
+/// optionally with a `= discr` tail.
+fn parse_variants(stream: TokenStream) -> Vec<(String, VariantShape)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push((name, shape));
+        // Skip a discriminant and/or run to the next top-level comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    variants
+}
