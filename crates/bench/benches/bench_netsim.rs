@@ -1,5 +1,8 @@
 //! Criterion benches for the network simulator: analytical model vs
-//! packet-level DES on a loaded 100-chiplet mesh.
+//! packet-level DES on a loaded 100-chiplet mesh, plus a
+//! contention-heavy funnel that stresses the wait-queue event loop
+//! (the seed's retry-polling loop re-heapified every busy header; the
+//! FIFO wait queues park each header once per hop).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use netsim::{analyze, simulate, Flow, SimConfig};
@@ -19,6 +22,13 @@ fn traffic(n: usize) -> Vec<Flow> {
         .collect()
 }
 
+/// Every chiplet sends to one sink: maximal FIFO channel contention.
+fn funnel(n: usize) -> Vec<Flow> {
+    (0..n)
+        .map(|i| Flow::new(NodeId((i % 99) as u32), NodeId(99), 8192))
+        .collect()
+}
+
 fn models(c: &mut Criterion) {
     let topo = mesh2d(10, 10).unwrap();
     let hw = HwParams::default();
@@ -33,12 +43,23 @@ fn models(c: &mut Criterion) {
     g.finish();
 }
 
+fn contention(c: &mut Criterion) {
+    let topo = mesh2d(10, 10).unwrap();
+    let hw = HwParams::default();
+    let flows = funnel(300);
+    let mut g = c.benchmark_group("netsim-contention");
+    g.bench_function("des-funnel-300-flows", |b| {
+        b.iter(|| simulate(black_box(&topo), &hw, &flows, &SimConfig::default()))
+    });
+    g.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default()
         .measurement_time(Duration::from_secs(3))
         .warm_up_time(Duration::from_secs(1))
         .sample_size(20);
-    targets = models
+    targets = models, contention
 );
 criterion_main!(benches);

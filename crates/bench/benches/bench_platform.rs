@@ -1,16 +1,18 @@
 //! Criterion benches for the end-to-end platform kernels: one Fig. 3/5
-//! workload execution and one Fig. 6 placement evaluation.
+//! workload execution (on a `SweepRunner`-cached platform) and one Fig. 6
+//! placement evaluation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dnn::{build_model, Dataset, ModelKind, SegmentGraph};
-use pim_core::{NoiArch, Platform25D, Platform3D, SystemConfig};
+use pim_core::{NoiArch, Platform3D, SweepRunner, SystemConfig};
 use std::hint::black_box;
 use std::time::Duration;
 
 fn workload_run(c: &mut Criterion) {
     let cfg = SystemConfig::datacenter_25d();
     let wl = dnn::table2_workload("WL1").unwrap();
-    let platform = Platform25D::new(NoiArch::Floret { lambda: 6 }, &cfg).unwrap();
+    let runner = SweepRunner::new(&cfg).unwrap();
+    let platform = runner.platform(&NoiArch::Floret { lambda: 6 });
     let mut g = c.benchmark_group("platform25");
     g.bench_function("wl1-floret-full-run", |b| {
         b.iter(|| platform.run_workload(black_box(&wl)))

@@ -1,8 +1,9 @@
 //! Dumps every experiment result as JSON to stdout (for external
 //! plotting). Runs the fast experiments in full and the 3D optimization
-//! with the default budget; expect a couple of minutes in release mode.
+//! with the default budget. The 2.5D artifacts share one `SweepRunner`,
+//! so the four platforms are built exactly once for the whole dump.
 
-use pim_core::{experiments, SystemConfig};
+use pim_core::{experiments, SweepRunner, SystemConfig};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -21,13 +22,14 @@ struct Dump {
 fn main() {
     let cfg25 = SystemConfig::datacenter_25d();
     let cfg3d = SystemConfig::stacked_3d();
+    let runner = SweepRunner::new(&cfg25).expect("paper architectures build");
     let sa = experiments::joint_sa_config();
     let dump = Dump {
         table1: experiments::table1_rows(),
         table2: experiments::table2_rows(),
-        fig2: experiments::fig2_summaries(&cfg25),
-        fig345: experiments::fig345_sweep(&cfg25),
-        cost: experiments::cost_rows(&cfg25),
+        fig2: runner.fig2_summaries(),
+        fig345: runner.fig345_sweep(),
+        cost: experiments::cost_rows_on(&runner),
         fig6: experiments::fig6_rows(&cfg3d, &sa),
         fig7: experiments::fig7_maps(&cfg3d, &sa),
         transformer: experiments::transformer_rows(),

@@ -1,26 +1,26 @@
 //! Regenerates Fig. 3: NoI latency for the Table II mixes on the four
-//! architectures, normalized to Floret.
+//! architectures, normalized to Floret. Runs on the shared `SweepRunner`
+//! engine: each platform is built once and the 20 (mix, arch) cells fan
+//! across worker threads with deterministic output order.
 
 use pim_bench::normalize_to_floret;
-use pim_core::{experiments, NoiArch, SystemConfig};
+use pim_core::{SweepRunner, SystemConfig};
 
 fn main() {
     let cfg = SystemConfig::datacenter_25d();
+    let runner = SweepRunner::new(&cfg).expect("paper architectures build");
     pim_bench::section("Fig. 3: NoI latency (DES on co-resident traffic), normalized to Floret");
     println!(
         "{:<5} {:<8} {:>14} {:>8} {:>10}",
         "mix", "arch", "latency(cyc)", "norm", "hops"
     );
-    for wl in ["WL1", "WL2", "WL3", "WL4", "WL5"] {
-        let rows: Vec<_> = NoiArch::all()
-            .into_iter()
-            .map(|arch| experiments::run_arch_workload(&cfg, arch, wl))
-            .collect();
-        let norm = normalize_to_floret(&rows, |r| r.sim_latency_cycles as f64);
+    let reports = runner.fig345_sweep();
+    for rows in reports.chunks(runner.platforms().len()) {
+        let norm = normalize_to_floret(rows, |r| r.sim_latency_cycles as f64);
         for (r, (_, v, n)) in rows.iter().zip(norm) {
             println!(
                 "{:<5} {:<8} {:>14.0} {:>8} {:>10.2}",
-                wl,
+                r.workload,
                 r.arch,
                 v,
                 pim_bench::ratio(n),

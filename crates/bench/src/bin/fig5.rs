@@ -1,27 +1,27 @@
 //! Regenerates Fig. 5: NoI energy for the Table II mixes, normalized to
-//! Floret (paper: 1.65x vs SIAM, 2.8x vs Kite on average).
+//! Floret (paper: 1.65x vs SIAM, 2.8x vs Kite on average). Runs on the
+//! shared `SweepRunner` engine (platforms built once, cells in parallel,
+//! deterministic output order).
 
 use pim_bench::normalize_to_floret;
-use pim_core::{experiments, NoiArch, SystemConfig};
+use pim_core::{SweepRunner, SystemConfig};
 
 fn main() {
     let cfg = SystemConfig::datacenter_25d();
+    let runner = SweepRunner::new(&cfg).expect("paper architectures build");
     pim_bench::section("Fig. 5: NoI energy (dynamic + static), normalized to Floret");
     println!(
         "{:<5} {:<8} {:>12} {:>8}",
         "mix", "arch", "energy(pJ)", "norm"
     );
     let mut sums: std::collections::BTreeMap<String, (f64, u32)> = Default::default();
-    for wl in ["WL1", "WL2", "WL3", "WL4", "WL5"] {
-        let rows: Vec<_> = NoiArch::all()
-            .into_iter()
-            .map(|arch| experiments::run_arch_workload(&cfg, arch, wl))
-            .collect();
-        let norm = normalize_to_floret(&rows, |r| r.noi_energy_pj);
-        for (arch, v, n) in norm {
+    let reports = runner.fig345_sweep();
+    for rows in reports.chunks(runner.platforms().len()) {
+        let norm = normalize_to_floret(rows, |r| r.noi_energy_pj);
+        for (r, (arch, v, n)) in rows.iter().zip(norm) {
             println!(
                 "{:<5} {:<8} {:>12.3e} {:>8}",
-                wl,
+                r.workload,
                 arch,
                 v,
                 pim_bench::ratio(n)

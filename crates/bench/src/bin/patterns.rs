@@ -1,23 +1,31 @@
 //! Standalone NoC characterization: the four NoIs under classic synthetic
 //! traffic patterns (independent of any DNN workload). Shows where each
-//! topology's structure helps and hurts.
+//! topology's structure helps and hurts. The platforms (and their route
+//! tables) come from the shared `SweepRunner` cache instead of being
+//! rebuilt per (pattern, arch) cell.
 
-use netsim::{analyze, generate_pattern, simulate, SimConfig};
-use pim_core::{NoiArch, Platform25D, SystemConfig};
+use netsim::{analyze_with_table, generate_pattern, simulate_with_table, SimConfig};
+use pim_core::{SweepRunner, SystemConfig};
 
 fn main() {
     let cfg = SystemConfig::datacenter_25d();
+    let runner = SweepRunner::new(&cfg).expect("paper architectures build");
     pim_bench::section("synthetic traffic characterization (100 chiplets, 4 KB/flow)");
     println!(
         "{:<11} {:<8} {:>10} {:>12} {:>12}",
         "pattern", "arch", "avg hops", "makespan", "energy(pJ)"
     );
     for pattern in netsim::all_patterns() {
-        for arch in NoiArch::all() {
-            let p = Platform25D::new(arch, &cfg).expect("arch builds");
+        for p in runner.platforms() {
             let flows = generate_pattern(p.topology(), pattern, 4096, 7);
-            let ana = analyze(p.topology(), &cfg.hw, &flows);
-            let des = simulate(p.topology(), &cfg.hw, &flows, &SimConfig::default());
+            let ana = analyze_with_table(p.topology(), &cfg.hw, &flows, p.route_table());
+            let des = simulate_with_table(
+                p.topology(),
+                &cfg.hw,
+                &flows,
+                &SimConfig::default(),
+                p.route_table(),
+            );
             println!(
                 "{:<11} {:<8} {:>10.2} {:>12} {:>12.3e}",
                 pattern.to_string(),
@@ -33,8 +41,7 @@ fn main() {
         "{:<8} {:>10} {:>12} {:>12}",
         "arch", "avg hops", "makespan", "energy(pJ)"
     );
-    for arch in NoiArch::all() {
-        let p = Platform25D::new(arch, &cfg).expect("arch builds");
+    for p in runner.platforms() {
         // Floret streams along its curve; the others along id (row-major)
         // order — each architecture's natural dataflow mapping.
         let order: Vec<topology::NodeId> = match p.layout() {
@@ -44,8 +51,14 @@ fn main() {
                 .collect(),
         };
         let flows = netsim::generate_pipeline(&order, 4096);
-        let ana = analyze(p.topology(), &cfg.hw, &flows);
-        let des = simulate(p.topology(), &cfg.hw, &flows, &SimConfig::default());
+        let ana = analyze_with_table(p.topology(), &cfg.hw, &flows, p.route_table());
+        let des = simulate_with_table(
+            p.topology(),
+            &cfg.hw,
+            &flows,
+            &SimConfig::default(),
+            p.route_table(),
+        );
         println!(
             "{:<8} {:>10.2} {:>12} {:>12.3e}",
             p.arch_name(),

@@ -1,12 +1,15 @@
 //! Datacenter service-model ablation: Poisson arrivals with exponential
 //! service times on the four NoIs, sweeping offered load. Reports
 //! time-weighted utilization, admission waits and resident task counts.
+//! Platforms come from the shared `SweepRunner` cache (built once, not
+//! per load point).
 
 use mapper::{run_poisson, ArrivalConfig, GreedyConfig, Strategy};
-use pim_core::{NoiArch, Platform25D, SystemConfig};
+use pim_core::{Platform25D, SweepRunner, SystemConfig};
 
 fn main() {
     let cfg = SystemConfig::datacenter_25d();
+    let runner = SweepRunner::new(&cfg).expect("paper architectures build");
     let wl = dnn::table2_workload("WL3").expect("WL3: the largest mix");
     let graphs = Platform25D::task_graphs(&wl);
 
@@ -21,8 +24,7 @@ fn main() {
             mean_service: 8.0,
             seed: 0xA221,
         };
-        for arch in NoiArch::all() {
-            let platform = Platform25D::new(arch, &cfg).expect("arch builds");
+        for platform in runner.platforms() {
             let strategy = match platform.layout() {
                 Some(layout) => Strategy::sfc(layout),
                 None => Strategy::greedy(platform.topology(), GreedyConfig::soft()),

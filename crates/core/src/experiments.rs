@@ -14,6 +14,7 @@ use crate::arch::NoiArch;
 use crate::config::SystemConfig;
 use crate::platform25::{Platform25D, WorkloadReport};
 use crate::platform3d::{PlacementEval, Platform3D};
+use crate::sweep::{default_threads, parallel_map, SweepRunner};
 
 /// Table I row: paper's printed parameter count next to ours.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -79,17 +80,14 @@ pub fn table2_rows() -> Vec<Table2Row> {
 /// Fig. 2: structural summaries of the four NoIs (port histograms, link
 /// counts, areas) for the 100-chiplet system.
 pub fn fig2_summaries(cfg: &SystemConfig) -> Vec<TopologySummary> {
-    NoiArch::all()
-        .into_iter()
-        .map(|arch| {
-            Platform25D::new(arch, cfg)
-                .expect("paper architectures build")
-                .structure()
-        })
-        .collect()
+    SweepRunner::new(cfg)
+        .expect("paper architectures build")
+        .fig2_summaries()
 }
 
-/// Fig. 3/4/5: one workload executed on one architecture.
+/// Fig. 3/4/5: one workload executed on one architecture. For a single
+/// cell the platform is built directly; grids should go through
+/// [`SweepRunner`] so construction is paid once per architecture.
 pub fn run_arch_workload(cfg: &SystemConfig, arch: NoiArch, wl_name: &str) -> WorkloadReport {
     let wl = dnn::table2_workload(wl_name).expect("table II workload");
     Platform25D::new(arch, cfg)
@@ -97,19 +95,14 @@ pub fn run_arch_workload(cfg: &SystemConfig, arch: NoiArch, wl_name: &str) -> Wo
         .run_workload(&wl)
 }
 
-/// Fig. 3/4/5: the full architecture x workload sweep.
+/// Fig. 3/4/5: the full architecture x workload sweep on the shared
+/// engine — each platform constructed once, cells fanned across scoped
+/// threads, output bit-identical to the sequential per-cell loop it
+/// replaced (workload-major, [`NoiArch::all`] order).
 pub fn fig345_sweep(cfg: &SystemConfig) -> Vec<WorkloadReport> {
-    let mut out = Vec::new();
-    for wl in table2() {
-        for arch in NoiArch::all() {
-            out.push(
-                Platform25D::new(arch, cfg)
-                    .expect("paper architectures build")
-                    .run_workload(&wl),
-            );
-        }
-    }
-    out
+    SweepRunner::new(cfg)
+        .expect("paper architectures build")
+        .fig345_sweep()
 }
 
 /// Cost-comparison row.
@@ -127,13 +120,16 @@ pub struct CostRow {
 
 /// Regenerates the Section II fabrication-cost comparison.
 pub fn cost_rows(cfg: &SystemConfig) -> Vec<CostRow> {
+    cost_rows_on(&SweepRunner::new(cfg).expect("paper architectures build"))
+}
+
+/// [`cost_rows`] on an already-built engine (no platform rebuilds).
+pub fn cost_rows_on(runner: &SweepRunner) -> Vec<CostRow> {
     let model = CostModel::default();
-    let areas: Vec<(String, f64)> = NoiArch::all()
-        .into_iter()
-        .map(|arch| {
-            let p = Platform25D::new(arch, cfg).expect("paper architectures build");
-            (p.arch_name().to_string(), p.noi_area_mm2())
-        })
+    let areas: Vec<(String, f64)> = runner
+        .platforms()
+        .iter()
+        .map(|p| (p.arch_name().to_string(), p.noi_area_mm2()))
         .collect();
     let floret_area = areas
         .iter()
@@ -186,26 +182,27 @@ pub fn joint_sa_config() -> SaConfig {
     }
 }
 
-/// Regenerates Fig. 6 (EDP, peak temperature, accuracy impact).
+/// Regenerates Fig. 6 (EDP, peak temperature, accuracy impact). The 3D
+/// platform is built once and the per-model optimization runs (each a
+/// pure function of its seeded annealing schedule) fan across scoped
+/// workers; output order and values match the sequential loop exactly.
 pub fn fig6_rows(cfg: &SystemConfig, sa: &SaConfig) -> Vec<Fig6Row> {
     let platform = Platform3D::new(cfg).expect("3d platform builds");
-    fig6_models()
-        .into_iter()
-        .map(|e| {
-            let g = build_model(e.kind, e.dataset).expect("table models build");
-            let sg = SegmentGraph::from_layer_graph(&g);
-            let floret = platform
-                .evaluate(&sg, &platform.sfc_order())
-                .expect("fig6 models fit");
-            let (_, joint) = platform.optimize(&sg, sa).expect("fig6 models fit");
-            Fig6Row {
-                id: e.id.to_string(),
-                model: e.kind.to_string(),
-                floret,
-                joint,
-            }
-        })
-        .collect()
+    let models = fig6_models();
+    parallel_map(&models, default_threads(), |e| {
+        let g = build_model(e.kind, e.dataset).expect("table models build");
+        let sg = SegmentGraph::from_layer_graph(&g);
+        let floret = platform
+            .evaluate(&sg, &platform.sfc_order())
+            .expect("fig6 models fit");
+        let (_, joint) = platform.optimize(&sg, sa).expect("fig6 models fit");
+        Fig6Row {
+            id: e.id.to_string(),
+            model: e.kind.to_string(),
+            floret,
+            joint,
+        }
+    })
 }
 
 /// Fig. 7 output: bottom-tier temperature maps for both mappings plus

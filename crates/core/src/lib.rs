@@ -13,7 +13,10 @@
 //!   placement optimization (Figs. 6-7).
 //!
 //! The [`experiments`] module regenerates every table and figure of the
-//! paper; the `pim-bench` crate prints them.
+//! paper; the `pim-bench` crate prints them. The figure grids run on the
+//! [`SweepRunner`] experiment engine ([`sweep`]), which builds each
+//! platform once and fans independent cells across scoped threads with a
+//! bit-deterministic, order-stable merge.
 //!
 //! # Examples
 //!
@@ -39,8 +42,10 @@ pub mod experiments;
 pub mod hetero;
 mod platform25;
 mod platform3d;
+pub mod sweep;
 
 pub use arch::NoiArch;
 pub use config::SystemConfig;
 pub use platform25::{Platform25D, WorkloadReport};
 pub use platform3d::{ParetoPoint, PlacementEval, Platform3D};
+pub use sweep::{default_threads, parallel_map, SweepRunner};

@@ -112,6 +112,17 @@ impl Platform25D {
         self.arch.name()
     }
 
+    /// The architecture selector this platform was built from.
+    pub fn arch(&self) -> &NoiArch {
+        &self.arch
+    }
+
+    /// The cached routing table (shared by every simulation on this
+    /// platform).
+    pub fn route_table(&self) -> &netsim::RouteTable {
+        &self.route
+    }
+
     /// Structural summary (Fig. 2 row).
     pub fn structure(&self) -> TopologySummary {
         topology::summarize(&self.topo, &self.cfg.hw)

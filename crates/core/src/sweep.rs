@@ -1,0 +1,257 @@
+//! The shared experiment engine behind the figure sweeps.
+//!
+//! The paper's headline results (Figs. 3-7) are grids: 4 NoI
+//! architectures × 5 Table II mixes through the packet-level DES, and 5
+//! DNN models through the 3D joint-optimization flow. [`SweepRunner`]
+//! constructs each [`Platform25D`] (topology + route table) exactly once,
+//! then fans independent grid cells across [`std::thread::scope`] workers
+//! with a work-stealing index.
+//!
+//! # Determinism guarantee
+//!
+//! Every grid cell is a pure, seeded function of its inputs, and results
+//! are reassembled by cell index — so a sweep's output is bit-identical
+//! to the sequential loop it replaces, for any worker count (including
+//! one). [`parallel_map`] preserves input order; nothing about thread
+//! scheduling can reach the reported numbers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use dnn::{table2, Workload};
+use topology::{TopologyError, TopologySummary};
+
+use crate::arch::NoiArch;
+use crate::config::SystemConfig;
+use crate::platform25::{Platform25D, WorkloadReport};
+
+/// Default worker count: one per available hardware thread.
+pub fn default_threads() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Applies `f` to every item on up to `threads` scoped workers and
+/// returns the results **in input order**, regardless of which worker
+/// computed what. Workers pull items off a shared atomic index
+/// (work-stealing), so uneven cell costs don't serialize the sweep.
+///
+/// # Panics
+///
+/// Propagates a panic from any invocation of `f`.
+pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, U)> = Vec::with_capacity(items.len());
+    thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for w in workers {
+            indexed.extend(w.join().expect("sweep worker panicked"));
+        }
+    });
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, v)| v).collect()
+}
+
+/// The experiment engine: the four paper platforms built once (route
+/// tables cached inside), plus a parallel grid executor.
+///
+/// # Examples
+///
+/// ```no_run
+/// use pim_core::{SweepRunner, SystemConfig};
+///
+/// let runner = SweepRunner::new(&SystemConfig::datacenter_25d())?;
+/// let reports = runner.fig345_sweep(); // 5 mixes x 4 archs, stable order
+/// assert_eq!(reports.len(), 20);
+/// # Ok::<(), topology::TopologyError>(())
+/// ```
+#[derive(Debug)]
+pub struct SweepRunner {
+    cfg: SystemConfig,
+    threads: usize,
+    platforms: Vec<Platform25D>, // NoiArch::all() order
+}
+
+impl SweepRunner {
+    /// Builds all four [`NoiArch`] platforms once (in parallel) and
+    /// defaults the worker count to [`default_threads`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyError`] from the topology generators.
+    pub fn new(cfg: &SystemConfig) -> Result<Self, TopologyError> {
+        let threads = default_threads();
+        let archs = NoiArch::all();
+        let built = parallel_map(&archs, threads, |arch| Platform25D::new(arch.clone(), cfg));
+        let mut platforms = Vec::with_capacity(built.len());
+        for p in built {
+            platforms.push(p?);
+        }
+        Ok(SweepRunner {
+            cfg: cfg.clone(),
+            threads,
+            platforms,
+        })
+    }
+
+    /// Overrides the worker count (clamped to at least one). Output is
+    /// identical for any value; this only changes wall-clock time.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Effective worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The system configuration the platforms were built with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The cached platforms, in [`NoiArch::all`] order.
+    pub fn platforms(&self) -> &[Platform25D] {
+        &self.platforms
+    }
+
+    /// The cached platform for one architecture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arch` is not one of the four paper architectures.
+    pub fn platform(&self, arch: &NoiArch) -> &Platform25D {
+        self.platforms
+            .iter()
+            .find(|p| p.arch() == arch)
+            .expect("SweepRunner caches every paper architecture")
+    }
+
+    /// Runs one (architecture, workload) cell on the cached platform.
+    pub fn run_arch_workload(&self, arch: &NoiArch, wl_name: &str) -> WorkloadReport {
+        let wl = dnn::table2_workload(wl_name).expect("table II workload");
+        self.platform(arch).run_workload(&wl)
+    }
+
+    /// The (workload × architecture) grid over the cached platforms:
+    /// workload-major, [`NoiArch::all`] order within each workload —
+    /// exactly the sequential seed ordering.
+    pub fn run_workloads(&self, workloads: &[Workload]) -> Vec<WorkloadReport> {
+        let cells: Vec<(&Workload, usize)> = workloads
+            .iter()
+            .flat_map(|wl| (0..self.platforms.len()).map(move |pi| (wl, pi)))
+            .collect();
+        parallel_map(&cells, self.threads, |&(wl, pi)| {
+            self.platforms[pi].run_workload(wl)
+        })
+    }
+
+    /// Fig. 3/4/5: the full Table II × architecture sweep.
+    pub fn fig345_sweep(&self) -> Vec<WorkloadReport> {
+        self.run_workloads(&table2())
+    }
+
+    /// Fig. 2: structural summaries of the cached platforms.
+    pub fn fig2_summaries(&self) -> Vec<TopologySummary> {
+        self.platforms.iter().map(Platform25D::structure).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..97).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 8, 200] {
+            assert_eq!(parallel_map(&items, threads, |x| x * x), seq);
+        }
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(parallel_map(&empty, 8, |x| *x), Vec::<u32>::new());
+        assert_eq!(parallel_map(&[7u32], 8, |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn parallel_map_propagates_worker_panics() {
+        let items: Vec<u32> = (0..8).collect();
+        parallel_map(&items, 4, |x| {
+            assert!(*x != 5, "boom");
+            *x
+        });
+    }
+
+    #[test]
+    fn runner_caches_all_four_platforms() {
+        let cfg = SystemConfig::datacenter_25d();
+        let runner = SweepRunner::new(&cfg).unwrap();
+        assert_eq!(runner.platforms().len(), 4);
+        for (p, arch) in runner.platforms().iter().zip(NoiArch::all()) {
+            assert_eq!(p.arch(), &arch);
+            assert!(std::ptr::eq(runner.platform(&arch), p));
+        }
+    }
+
+    #[test]
+    fn engine_grid_is_bit_identical_to_sequential_rebuild() {
+        // The hoisted-construction + parallel-fan-out path must reproduce
+        // the seed's rebuild-every-cell sequential loop exactly, cell for
+        // cell, in the same order.
+        let cfg = SystemConfig::datacenter_25d();
+        let wl = dnn::table2_workload("WL1").unwrap();
+        let runner = SweepRunner::new(&cfg).unwrap();
+        let engine = runner.run_workloads(std::slice::from_ref(&wl));
+
+        let sequential: Vec<WorkloadReport> = NoiArch::all()
+            .into_iter()
+            .map(|arch| {
+                Platform25D::new(arch, &cfg)
+                    .expect("paper architectures build")
+                    .run_workload(&wl)
+            })
+            .collect();
+        assert_eq!(engine, sequential);
+    }
+
+    #[test]
+    fn engine_output_independent_of_thread_count() {
+        let cfg = SystemConfig::datacenter_25d();
+        let wl = dnn::table2_workload("WL1").unwrap();
+        let runner = SweepRunner::new(&cfg).unwrap();
+        let wide = runner.run_workloads(std::slice::from_ref(&wl));
+        let narrow = runner
+            .with_threads(1)
+            .run_workloads(std::slice::from_ref(&wl));
+        assert_eq!(wide, narrow);
+    }
+}
