@@ -1,8 +1,26 @@
 //! Shared output helpers for the reproduction binaries (`table1`,
 //! `fig2`, ... — one per table/figure of the paper) and the criterion
 //! benches.
+//!
+//! Each binary under `src/bin/` regenerates one paper artifact on the
+//! `pim_core` experiment entry points; this library only owns the
+//! presentation: section rules, ratio formatting, Floret-normalized
+//! figure rows and ASCII heat maps. See the "Reproducing the figures"
+//! table in the README for the binary ↔ figure mapping.
+//!
+//! # Examples
+//!
+//! ```
+//! // Ratios render the way the fig3/fig5 columns print them.
+//! assert_eq!(pim_bench::ratio(2.236), "2.24x");
+//!
+//! // Thermal tier slices become one glyph per PE, `.` cold to `@` hot.
+//! let map = pim_bench::ascii_heatmap(&[vec![300.0, 399.0]], 300.0, 400.0);
+//! assert_eq!(map, ". @ \n");
+//! ```
 
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 use pim_core::WorkloadReport;
 

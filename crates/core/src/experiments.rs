@@ -105,6 +105,17 @@ pub fn fig345_sweep(cfg: &SystemConfig) -> Vec<WorkloadReport> {
         .fig345_sweep()
 }
 
+/// The dataflow figure: every Table II mix × the four [`dnn::Dataflow`]
+/// modes × the four architectures on the shared engine — workload-major,
+/// then dataflow, then [`NoiArch::all`] order, so each chunk of 16 rows
+/// is one mix and the weight-stationary rows reproduce [`fig345_sweep`]'s
+/// cells exactly.
+pub fn dataflow_sweep(cfg: &SystemConfig) -> Vec<WorkloadReport> {
+    SweepRunner::new(cfg)
+        .expect("paper architectures build")
+        .dataflow_sweep()
+}
+
 /// Cost-comparison row.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CostRow {

@@ -3,8 +3,11 @@
 
 use std::collections::BTreeMap;
 
-use dnn::{build_model, SegmentGraph, Workload};
-use mapper::{placement_transfers, run_churn, run_queue, ChurnOutcome, QueueOutcome, Strategy};
+use dnn::{build_model, Dataflow, SegmentGraph, Workload};
+use mapper::{
+    placement_transfers, run_churn, run_queue, transfers_for_batch, ChurnOutcome, QueueOutcome,
+    Strategy,
+};
 use netsim::{analyze_with_table, sample_flows, simulate_with_table, Flow, RouteTable, SimConfig};
 use serde::{Deserialize, Serialize};
 use topology::{FloretLayout, Topology, TopologyError, TopologySummary};
@@ -44,6 +47,8 @@ pub struct WorkloadReport {
     pub arch: String,
     /// Workload name.
     pub workload: String,
+    /// Dataflow short name ([`Dataflow::name`]; `"WS"` for the baseline).
+    pub dataflow: String,
     /// Forced departures during admission (churn-pressure diagnostic).
     pub departures: usize,
     /// Mean chiplet utilization sampled at each admission (Fig. 4 metric).
@@ -77,6 +82,12 @@ pub struct WorkloadReport {
     pub program_energy_pj: f64,
     /// Total crossbar programming time across admissions, ns.
     pub program_latency_ns: f64,
+    /// PIM compute energy across all mapped tasks, pJ — scaled by the
+    /// dataflow's buffer residency ([`pim::model_cost_with`]).
+    pub compute_energy_pj: f64,
+    /// Sequential-bound PIM compute latency across all mapped tasks, ns
+    /// (input-stationary pays a weight re-staging stall).
+    pub compute_latency_ns: f64,
 }
 
 impl Platform25D {
@@ -247,13 +258,39 @@ impl Platform25D {
         )
     }
 
-    /// Maps (under churn) and simulates a workload. The NoI carries the
-    /// traffic of all *co-resident* tasks simultaneously (`batch`
-    /// inference frames each): snapshots of the resident set are taken
-    /// along the admission sequence and replayed together, so both the
-    /// placement quality under fragmentation and the cross-task link
-    /// contention differ across architectures.
+    /// Maps (under churn) and simulates a workload under the
+    /// weight-stationary baseline dataflow (the seed behaviour).
     pub fn run_workload(&self, wl: &Workload) -> WorkloadReport {
+        self.run_workload_with(wl, Dataflow::WeightStationary)
+    }
+
+    /// Maps (under churn) and simulates a workload under `dataflow`. The
+    /// NoI carries the traffic of all *co-resident* tasks simultaneously
+    /// (`batch` inference frames each): snapshots of the resident set are
+    /// taken along the admission sequence and replayed together, so both
+    /// the placement quality under fragmentation and the cross-task link
+    /// contention differ across architectures.
+    ///
+    /// The placement itself is dataflow-independent (weights live where
+    /// the mapper put them); the dataflow decides which tensors cross the
+    /// NoI per segment edge ([`mapper::transfers_for_batch`]) and what
+    /// each MAC costs in buffer traffic ([`pim::model_cost_with`]).
+    pub fn run_workload_with(&self, wl: &Workload, dataflow: Dataflow) -> WorkloadReport {
+        self.run_workload_dataflows(wl, std::slice::from_ref(&dataflow))
+            .pop()
+            .expect("one dataflow in, one report out")
+    }
+
+    /// Runs one workload under every mode in `dataflows`, in order. The
+    /// churned placement is dataflow-independent, so it is computed once
+    /// and only the transfer expansion, network replay and compute
+    /// costing repeat per mode — each report is bit-identical to the one
+    /// [`Platform25D::run_workload_with`] would produce.
+    pub fn run_workload_dataflows(
+        &self,
+        wl: &Workload,
+        dataflows: &[Dataflow],
+    ) -> Vec<WorkloadReport> {
         let graphs = Self::task_graphs(wl);
         let outcome = run_churn(
             &graphs,
@@ -261,16 +298,39 @@ impl Platform25D {
             self.cfg.node_capacity(),
             &self.strategy(true),
         );
+        dataflows
+            .iter()
+            .map(|&df| self.report_from_outcome(wl, &graphs, &outcome, df))
+            .collect()
+    }
 
-        // Per-task flows, built once.
+    /// Costs one churned placement under one dataflow: transfer
+    /// expansion, analytical + DES network replay, compute and
+    /// programming energy.
+    fn report_from_outcome(
+        &self,
+        wl: &Workload,
+        graphs: &[SegmentGraph],
+        outcome: &ChurnOutcome,
+        dataflow: Dataflow,
+    ) -> WorkloadReport {
+        // Per-task flows, built once. Batching happens inside the
+        // expansion: the dataflow decides what is staged once per batch
+        // (OS weight tiles) vs once per frame.
         let task_flows: Vec<Vec<Flow>> = outcome
             .placements
             .iter()
             .map(|tp| {
-                placement_transfers(tp, &graphs[tp.task.index()], self.cfg.activation_bytes)
-                    .into_iter()
-                    .map(|t| Flow::new(t.src, t.dst, t.bytes * self.cfg.batch as u64))
-                    .collect()
+                transfers_for_batch(
+                    tp,
+                    &graphs[tp.task.index()],
+                    self.cfg.activation_bytes,
+                    dataflow,
+                    self.cfg.batch as u64,
+                )
+                .into_iter()
+                .map(|t| Flow::new(t.src, t.dst, t.bytes))
+                .collect()
             })
             .collect();
         let placement_of: std::collections::BTreeMap<u32, usize> = outcome
@@ -344,9 +404,20 @@ impl Platform25D {
             }
         }
 
+        // PIM compute side: the dataflow's buffer residency scales the
+        // per-MAC energy and (for IS) the per-segment latency.
+        let mut compute_energy_pj = 0.0;
+        let mut compute_latency_ns = 0.0;
+        for tp in &outcome.placements {
+            let mc = pim::model_cost_with(&graphs[tp.task.index()], &self.cfg.pim, dataflow);
+            compute_energy_pj += mc.energy_pj;
+            compute_latency_ns += mc.latency_ns;
+        }
+
         WorkloadReport {
             arch: self.arch.name().to_string(),
             workload: wl.name.clone(),
+            dataflow: dataflow.name().to_string(),
             departures: outcome.departures,
             mean_utilization: outcome.mean_utilization,
             mapped_tasks: outcome.placements.len(),
@@ -368,6 +439,8 @@ impl Platform25D {
             total_traffic_bytes: traffic,
             program_energy_pj,
             program_latency_ns,
+            compute_energy_pj,
+            compute_latency_ns,
         }
     }
 }
@@ -433,6 +506,31 @@ mod tests {
             kite.mean_weighted_hops > floret.mean_weighted_hops,
             "floret keeps consecutive layers closer"
         );
+    }
+
+    #[test]
+    fn dataflow_axis_never_inflates_traffic() {
+        let cfg = SystemConfig::datacenter_25d();
+        let p = Platform25D::new(NoiArch::Floret { lambda: 6 }, &cfg).unwrap();
+        let wl = small_workload();
+        let ws = p.run_workload(&wl);
+        assert_eq!(ws.dataflow, "WS");
+        assert_eq!(ws, p.run_workload_with(&wl, Dataflow::WeightStationary));
+        for df in Dataflow::all() {
+            let r = p.run_workload_with(&wl, df);
+            assert_eq!(r.dataflow, df.name());
+            // Re-stationing falls back to the tiled path where it does
+            // not pay, so no mode moves more bytes than the baseline.
+            assert!(
+                r.total_traffic_bytes <= ws.total_traffic_bytes,
+                "{df}: {} > WS {}",
+                r.total_traffic_bytes,
+                ws.total_traffic_bytes
+            );
+        }
+        // WL1's chains give fused-layer pipelines real elision headroom.
+        let fl = p.run_workload_with(&wl, Dataflow::FusedLayer);
+        assert!(fl.total_traffic_bytes < ws.total_traffic_bytes);
     }
 
     #[test]

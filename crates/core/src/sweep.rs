@@ -18,7 +18,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
-use dnn::{table2, Workload};
+use dnn::{table2, Dataflow, Workload};
 use topology::{TopologyError, TopologySummary};
 
 use crate::arch::NoiArch;
@@ -175,6 +175,51 @@ impl SweepRunner {
         self.run_workloads(&table2())
     }
 
+    /// The (workload × dataflow × architecture) grid over the cached
+    /// platforms: workload-major, then `dataflows` order, then
+    /// [`NoiArch::all`] order — so each consecutive chunk of
+    /// `dataflows.len() * platforms.len()` rows is one workload, and the
+    /// [`Dataflow::WeightStationary`] rows reproduce [`Self::run_workloads`]
+    /// exactly.
+    ///
+    /// The churned placement is dataflow-independent, so each
+    /// (workload, architecture) cell maps once and costs every dataflow
+    /// from the shared outcome
+    /// ([`Platform25D::run_workload_dataflows`]) — the reports are still
+    /// bit-identical to per-mode [`Platform25D::run_workload_with`]
+    /// calls, just without redundant mapping work.
+    pub fn run_workloads_dataflows(
+        &self,
+        workloads: &[Workload],
+        dataflows: &[Dataflow],
+    ) -> Vec<WorkloadReport> {
+        let cells: Vec<(&Workload, usize)> = workloads
+            .iter()
+            .flat_map(|wl| (0..self.platforms.len()).map(move |pi| (wl, pi)))
+            .collect();
+        let per_cell = parallel_map(&cells, self.threads, |&(wl, pi)| {
+            self.platforms[pi].run_workload_dataflows(wl, dataflows)
+        });
+        // Reassemble (workload, arch)[dataflow] into workload-major,
+        // dataflow, architecture order.
+        let n_arch = self.platforms.len();
+        let mut out = Vec::with_capacity(per_cell.len() * dataflows.len());
+        for wl_cells in per_cell.chunks(n_arch) {
+            for d in 0..dataflows.len() {
+                for cell in wl_cells {
+                    out.push(cell[d].clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// The dataflow figure: all Table II mixes × the four [`Dataflow`]
+    /// modes × the four architectures.
+    pub fn dataflow_sweep(&self) -> Vec<WorkloadReport> {
+        self.run_workloads_dataflows(&table2(), &Dataflow::all())
+    }
+
     /// Fig. 2: structural summaries of the cached platforms.
     pub fn fig2_summaries(&self) -> Vec<TopologySummary> {
         self.platforms.iter().map(Platform25D::structure).collect()
@@ -241,6 +286,39 @@ mod tests {
             })
             .collect();
         assert_eq!(engine, sequential);
+    }
+
+    #[test]
+    fn dataflow_grid_ws_rows_match_the_plain_grid() {
+        // The dataflow axis is a strict superset: its weight-stationary
+        // rows must be bit-identical to the pre-axis workload grid.
+        let cfg = SystemConfig::datacenter_25d();
+        let wl = dnn::table2_workload("WL1").unwrap();
+        let runner = SweepRunner::new(&cfg).unwrap();
+        let plain = runner.run_workloads(std::slice::from_ref(&wl));
+        let grid = runner.run_workloads_dataflows(
+            std::slice::from_ref(&wl),
+            &[Dataflow::WeightStationary, Dataflow::FusedLayer],
+        );
+        assert_eq!(grid.len(), 2 * runner.platforms().len());
+        assert_eq!(&grid[..runner.platforms().len()], &plain[..]);
+        for (r, arch) in grid[runner.platforms().len()..].iter().zip(NoiArch::all()) {
+            assert_eq!(r.dataflow, "FL");
+            assert_eq!(r.arch, arch.name());
+        }
+    }
+
+    #[test]
+    fn dataflow_grid_independent_of_thread_count() {
+        let cfg = SystemConfig::datacenter_25d();
+        let wl = dnn::table2_workload("WL1").unwrap();
+        let dataflows = Dataflow::all();
+        let runner = SweepRunner::new(&cfg).unwrap();
+        let wide = runner.run_workloads_dataflows(std::slice::from_ref(&wl), &dataflows);
+        let narrow = runner
+            .with_threads(1)
+            .run_workloads_dataflows(std::slice::from_ref(&wl), &dataflows);
+        assert_eq!(wide, narrow);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //!   DenseNet-169 and GoogLeNet on ImageNet and CIFAR-10;
 //! * the Table II concurrent-DNN datacenter mixes ([`table2`]);
 //! * segment compression for chiplet mapping ([`SegmentGraph`]);
+//! * the sweepable dataflow axis ([`Dataflow`]): weight-, output- and
+//!   input-stationary plus the PIMfused-style fused-layer pipeline;
 //! * the Section IV Transformer storage analysis ([`BertConfig`]).
 //!
 //! # Examples
@@ -30,6 +32,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod dataflow;
 mod graph;
 mod layer;
 pub mod models;
@@ -39,6 +42,7 @@ mod transformer;
 mod workload;
 mod zoo;
 
+pub use dataflow::{BufferProfile, Dataflow, ParseDataflowError};
 pub use graph::{ActivationSplit, Edge, EdgeKind, GraphBuilder, GraphError, LayerGraph};
 pub use layer::{Layer, LayerId, LayerKind};
 pub use segment::{Segment, SegmentEdge, SegmentGraph, SegmentId};

@@ -39,4 +39,7 @@ pub use scheduler::{
     run_churn, run_churn_with_ledger, run_queue, ChurnOutcome, QueueOutcome, Strategy, Wave,
 };
 pub use sfc::{contiguity_score, map_task_sfc, sfc_order};
-pub use transfers::{placement_transfers, wave_transfers, Transfer};
+pub use transfers::{
+    placement_transfers, transfers_for, transfers_for_batch, wave_transfers, wave_transfers_for,
+    Transfer,
+};

@@ -1,7 +1,7 @@
 //! Per-segment PIM compute cost model: chiplet requirements, latency,
 //! energy and power for the weighted layers of a segment graph.
 
-use dnn::{Segment, SegmentGraph};
+use dnn::{Dataflow, Segment, SegmentGraph};
 use serde::{Deserialize, Serialize};
 
 use crate::config::PimConfig;
@@ -21,16 +21,31 @@ pub struct SegmentCost {
     pub utilization: f64,
 }
 
-/// Evaluates the PIM compute cost of a segment under `cfg`.
+/// Evaluates the PIM compute cost of a segment under `cfg` and the
+/// weight-stationary baseline dataflow.
+///
+/// Equivalent to [`segment_cost_with`] with
+/// [`Dataflow::WeightStationary`], whose unit energy/latency factors
+/// leave this bit-identical to the pre-dataflow cost model.
+pub fn segment_cost(seg: &Segment, cfg: &PimConfig) -> SegmentCost {
+    segment_cost_with(seg, cfg, Dataflow::WeightStationary)
+}
+
+/// Evaluates the PIM compute cost of a segment under `cfg` and `dataflow`.
 ///
 /// Latency model: the `out_spatial = macs / params` input vectors of a
 /// conv (1 for fc) are streamed bit-serially; row tiles of the weight
 /// matrix operate in parallel, column tiles in parallel, so one input
 /// vector costs `activation_bits * read_ns`. Vectors are pipelined but the
 /// crossbar is occupied for each, so latency scales with the MVM count.
+/// The dataflow's [`Dataflow::latency_factor`] scales the result
+/// (input-stationary stalls the crossbar while weight tiles re-stage).
 ///
-/// Energy model: `e_mac_pj` per MAC plus static power over the latency.
-pub fn segment_cost(seg: &Segment, cfg: &PimConfig) -> SegmentCost {
+/// Energy model: `e_mac_pj` per MAC — scaled by the dataflow's buffer
+/// residency through [`Dataflow::mac_energy_factor`], since which operand
+/// stays in the bank registers changes the buffer reads/writes behind
+/// each MAC — plus static power over the latency.
+pub fn segment_cost_with(seg: &Segment, cfg: &PimConfig, dataflow: Dataflow) -> SegmentCost {
     if seg.params == 0 || seg.macs == 0 {
         return SegmentCost {
             nodes: 0,
@@ -44,10 +59,11 @@ pub fn segment_cost(seg: &Segment, cfg: &PimConfig) -> SegmentCost {
     let nodes = crossbars.div_ceil(cfg.crossbars_per_node as u64).max(1);
     let weight_count = seg.weight_rows as u64 * seg.weight_cols as u64;
     let mvm_count = seg.macs.checked_div(weight_count).map_or(1, |v| v.max(1));
-    let latency_ns = mvm_count as f64 * cfg.activation_bits as f64 * cfg.read_ns;
+    let latency_ns =
+        mvm_count as f64 * cfg.activation_bits as f64 * cfg.read_ns * dataflow.latency_factor();
     // static_power_w [W] x latency [ns] = nJ; x1e3 converts to pJ.
-    let energy_pj =
-        seg.macs as f64 * cfg.e_mac_pj + cfg.static_power_w * nodes as f64 * latency_ns * 1e3;
+    let energy_pj = seg.macs as f64 * cfg.e_mac_pj * dataflow.mac_energy_factor()
+        + cfg.static_power_w * nodes as f64 * latency_ns * 1e3;
     let capacity = nodes * cfg.weights_per_node();
     let utilization = weight_count as f64 / capacity as f64;
     SegmentCost {
@@ -81,13 +97,19 @@ pub struct ModelComputeCost {
     pub energy_pj: f64,
 }
 
-/// Aggregates [`segment_cost`] over an entire segment graph.
+/// Aggregates [`segment_cost`] over an entire segment graph
+/// (weight-stationary baseline).
 pub fn model_cost(sg: &SegmentGraph, cfg: &PimConfig) -> ModelComputeCost {
+    model_cost_with(sg, cfg, Dataflow::WeightStationary)
+}
+
+/// Aggregates [`segment_cost_with`] over an entire segment graph.
+pub fn model_cost_with(sg: &SegmentGraph, cfg: &PimConfig, dataflow: Dataflow) -> ModelComputeCost {
     let mut total_nodes = 0;
     let mut latency_ns = 0.0;
     let mut energy_pj = 0.0;
     for seg in sg.segments() {
-        let c = segment_cost(seg, cfg);
+        let c = segment_cost_with(seg, cfg, dataflow);
         total_nodes += c.nodes;
         latency_ns += c.latency_ns;
         energy_pj += c.energy_pj;
@@ -191,6 +213,55 @@ mod tests {
         let biggest = sg.segments().iter().max_by_key(|s| s.params).unwrap();
         let (_, e_big) = segment_program_cost(biggest, &cfg);
         assert!(e_big > e_small);
+    }
+
+    #[test]
+    fn weight_stationary_matches_the_seed_cost() {
+        // The baseline mode multiplies by exactly 1.0, so the dataflow
+        // refactor cannot perturb any pre-existing number.
+        let sg = resnet18_segments();
+        let cfg = PimConfig::default();
+        for seg in sg.segments() {
+            assert_eq!(
+                segment_cost(seg, &cfg),
+                segment_cost_with(seg, &cfg, Dataflow::WeightStationary),
+                "{}",
+                seg.name
+            );
+        }
+        assert_eq!(
+            model_cost(&sg, &cfg),
+            model_cost_with(&sg, &cfg, Dataflow::WeightStationary)
+        );
+    }
+
+    #[test]
+    fn stationary_modes_trade_energy_and_latency() {
+        let sg = resnet18_segments();
+        let cfg = PimConfig::default();
+        let ws = model_cost(&sg, &cfg);
+        for df in Dataflow::all() {
+            let c = model_cost_with(&sg, &cfg, df);
+            assert_eq!(
+                c.total_nodes, ws.total_nodes,
+                "{df}: nodes are placement-bound"
+            );
+            if df == Dataflow::WeightStationary {
+                continue;
+            }
+            // Buffer residency only ever removes buffer traffic from the
+            // MAC path; IS pays for it in re-staging latency instead.
+            assert!(c.energy_pj < ws.energy_pj, "{df} energy");
+            assert!(c.latency_ns >= ws.latency_ns, "{df} latency");
+        }
+        let is = model_cost_with(&sg, &cfg, Dataflow::InputStationary);
+        assert!(
+            is.latency_ns > ws.latency_ns,
+            "IS pays the weight-staging stall"
+        );
+        let fl = model_cost_with(&sg, &cfg, Dataflow::FusedLayer);
+        let os = model_cost_with(&sg, &cfg, Dataflow::OutputStationary);
+        assert!(fl.energy_pj < os.energy_pj, "fused pipelines save the most");
     }
 
     #[test]

@@ -38,8 +38,10 @@
 
 #![warn(missing_docs)]
 
+pub use dnn::Dataflow;
 pub use pim_core::{
-    experiments, NoiArch, PlacementEval, Platform25D, Platform3D, SystemConfig, WorkloadReport,
+    experiments, NoiArch, PlacementEval, Platform25D, Platform3D, SweepRunner, SystemConfig,
+    WorkloadReport,
 };
 
 pub use cost;

@@ -165,7 +165,7 @@ pub mod collection {
 
     use super::{Strategy, TestRng};
 
-    /// Lengths accepted by [`vec`]: a fixed `usize` or a `Range<usize>`.
+    /// Lengths accepted by [`vec()`]: a fixed `usize` or a `Range<usize>`.
     pub trait IntoLen {
         /// Samples a concrete length.
         fn sample_len(&self, rng: &mut TestRng) -> usize;

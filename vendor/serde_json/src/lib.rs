@@ -1,5 +1,5 @@
 //! Offline subset of `serde_json`: renders the vendored `serde`
-//! [`Value`](serde::Value) tree as JSON text. Only serialization is
+//! [`Value`] tree as JSON text. Only serialization is
 //! provided (the workspace never deserializes).
 
 use serde::{Serialize, Value};
