@@ -1,42 +1,7 @@
-//! Ablation: the Kite family's skip links. More skips shorten paths but
-//! grow router radix — structure, area and uniform-traffic latency sweep.
-
-use netsim::{analyze, generate_pattern, TrafficPattern};
-use topology::{kite, kite_with_skips, HwParams};
+//! Thin shim: delegates to the experiment registry, identical to
+//! `pim-bench run ablation_kite` (kept so existing README/CI invocations keep
+//! working). Extra flags pass through: `ablation_kite --format json` works.
 
 fn main() {
-    let hw = HwParams::default();
-    pim_bench::section("Kite skip-link sweep (10x10): structure, area, uniform traffic");
-    println!(
-        "{:>7} {:>7} {:>9} {:>11} {:>10} {:>12}",
-        "skips", "links", "max ports", "area(mm2)", "avg hops", "energy(pJ)"
-    );
-    let base = kite(10, 10).expect("kite builds");
-    for skips in [0usize, 4, 8, 16, 32] {
-        let topo = if skips == 0 {
-            base.clone()
-        } else {
-            kite_with_skips(10, 10, skips, 7).expect("kite variant builds")
-        };
-        let max_ports = topo
-            .nodes()
-            .iter()
-            .map(|n| topo.ports(n.id))
-            .max()
-            .unwrap_or(0);
-        let flows = generate_pattern(&topo, TrafficPattern::UniformRandom, 4096, 11);
-        let ana = analyze(&topo, &hw, &flows);
-        println!(
-            "{:>7} {:>7} {:>9} {:>11.1} {:>10.2} {:>12.3e}",
-            skips,
-            topo.link_count(),
-            max_ports,
-            hw.noi_area_mm2(&topo),
-            ana.mean_weighted_hops,
-            ana.total_energy_pj
-        );
-    }
-    println!("\nSkips trade area (bigger routers, more wire) for shorter random-traffic");
-    println!("paths — the Kite family's design space. For DNN pipeline traffic the skips");
-    println!("are dead weight, which is the paper's core argument against them.");
+    std::process::exit(pim_bench::cli::shim("ablation_kite"));
 }

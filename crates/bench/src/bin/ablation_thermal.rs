@@ -1,56 +1,7 @@
-//! Ablation: M3D vs TSV vertical conduction (Section I claims M3D
-//! dissipates heat better) and the lateral-spreading sensitivity of the
-//! Fig. 6/7 results.
-
-use dnn::{build_model, Dataset, ModelKind, SegmentGraph};
-use pim_core::{Platform3D, SystemConfig};
-use thermal::ThermalConfig;
+//! Thin shim: delegates to the experiment registry, identical to
+//! `pim-bench run ablation_thermal` (kept so existing README/CI invocations keep
+//! working). Extra flags pass through: `ablation_thermal --format json` works.
 
 fn main() {
-    let net = build_model(ModelKind::ResNet34, Dataset::Cifar10).expect("resnet34");
-    let sg = SegmentGraph::from_layer_graph(&net);
-
-    pim_bench::section("M3D vs TSV: same workload, same SFC placement");
-    println!(
-        "{:>8} {:>10} {:>10} {:>10} {:>12}",
-        "stack", "peak(K)", "mean(K)", "hotspots", "acc drop"
-    );
-    for (name, thermal) in [("M3D", ThermalConfig::m3d()), ("TSV", ThermalConfig::tsv())] {
-        let cfg = SystemConfig {
-            thermal,
-            ..SystemConfig::stacked_3d()
-        };
-        let platform = Platform3D::new(&cfg).expect("3d platform");
-        let eval = platform.evaluate(&sg, &platform.sfc_order()).expect("fits");
-        println!(
-            "{:>8} {:>10.1} {:>10.1} {:>10} {:>11.1}%",
-            name,
-            eval.peak_k,
-            eval.mean_k,
-            eval.hotspots,
-            eval.accuracy_drop * 100.0
-        );
-    }
-    println!("\nM3D's thin inter-layer dielectric conducts heat to the sink far better");
-    println!("than TSV bonding layers (Section I), so the same mapping runs cooler.");
-
-    pim_bench::section("vertical-conductance sweep (W/K) on the SFC placement");
-    println!("{:>8} {:>10} {:>12}", "g_vert", "peak(K)", "acc drop");
-    for g in [0.3, 0.6, 1.0, 2.0, 4.0] {
-        let cfg = SystemConfig {
-            thermal: ThermalConfig {
-                g_vertical: g,
-                ..ThermalConfig::m3d()
-            },
-            ..SystemConfig::stacked_3d()
-        };
-        let platform = Platform3D::new(&cfg).expect("3d platform");
-        let eval = platform.evaluate(&sg, &platform.sfc_order()).expect("fits");
-        println!(
-            "{:>8.1} {:>10.1} {:>11.1}%",
-            g,
-            eval.peak_k,
-            eval.accuracy_drop * 100.0
-        );
-    }
+    std::process::exit(pim_bench::cli::shim("ablation_thermal"));
 }

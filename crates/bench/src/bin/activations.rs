@@ -1,21 +1,7 @@
-//! Regenerates the Section II activation analysis: linear vs skip traffic
-//! in residual networks (paper: ResNet-34 linear = 4.5x skip, skip ~19%).
+//! Thin shim: delegates to the experiment registry, identical to
+//! `pim-bench run activations` (kept so existing README/CI invocations keep
+//! working). Extra flags pass through: `activations --format json` works.
 
 fn main() {
-    pim_bench::section("Section II: linear vs skip activation traffic (ImageNet)");
-    println!(
-        "{:<11} {:>14} {:>12} {:>13} {:>11}",
-        "model", "linear(elems)", "skip(elems)", "linear/skip", "skip share"
-    );
-    for r in pim_core::experiments::activation_rows() {
-        println!(
-            "{:<11} {:>14} {:>12} {:>13.2} {:>10.1}%",
-            r.model,
-            r.sequential,
-            r.skip,
-            r.linear_over_skip,
-            r.skip_fraction * 100.0
-        );
-    }
-    println!("\nPaper (ResNet-34): linear 4.5x skip; skips ~19% of propagated activations.");
+    std::process::exit(pim_bench::cli::shim("activations"));
 }

@@ -1,22 +1,7 @@
-//! Regenerates the Section II fabrication-cost comparison (Eqs. 2-5;
-//! paper: Floret 2.8x/2.1x/1.89x cheaper than Kite/SIAM/SWAP).
-
-use pim_core::SystemConfig;
+//! Thin shim: delegates to the experiment registry, identical to
+//! `pim-bench run cost` (kept so existing README/CI invocations keep
+//! working). Extra flags pass through: `cost --format json` works.
 
 fn main() {
-    let cfg = SystemConfig::datacenter_25d();
-    pim_bench::section("Section II cost analysis (Eq. 2-5, AMD 864mm2/64-chiplet reference)");
-    println!(
-        "{:<8} {:>11} {:>14} {:>16}",
-        "arch", "area(mm2)", "rel. cost", "ratio vs Floret"
-    );
-    for r in pim_core::experiments::cost_rows(&cfg) {
-        println!(
-            "{:<8} {:>11.1} {:>14.3} {:>16}",
-            r.arch,
-            r.noi_area_mm2,
-            r.relative_cost,
-            pim_bench::ratio(r.ratio_vs_floret)
-        );
-    }
+    std::process::exit(pim_bench::cli::shim("cost"));
 }

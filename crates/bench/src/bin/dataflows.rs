@@ -1,64 +1,7 @@
-//! Regenerates the dataflow figure: the (architecture × Table II mix ×
-//! dataflow) grid through the shared `SweepRunner` engine. For every
-//! (mix, architecture) cell the four dataflow modes of `dnn::Dataflow`
-//! are costed on the *same* churned placement — only the tensors that
-//! cross the NoI change — and traffic/latency are normalized to the
-//! weight-stationary (seed) baseline.
-
-use dnn::Dataflow;
-use pim_core::{SweepRunner, SystemConfig};
+//! Thin shim: delegates to the experiment registry, identical to
+//! `pim-bench run dataflows` (kept so existing README/CI invocations keep
+//! working). Extra flags pass through: `dataflows --format json` works.
 
 fn main() {
-    let cfg = SystemConfig::datacenter_25d();
-    let runner = SweepRunner::new(&cfg).expect("paper architectures build");
-    pim_bench::section("Dataflow sweep: NoI traffic, DES latency and compute energy vs WS");
-    println!(
-        "{:<5} {:<3} {:<8} {:>12} {:>8} {:>14} {:>8} {:>12} {:>8}",
-        "mix", "df", "arch", "traffic(MB)", "norm", "latency(cyc)", "norm", "compute(mJ)", "norm"
-    );
-
-    let reports = runner.dataflow_sweep();
-    let n_arch = runner.platforms().len();
-    let n_df = Dataflow::all().len();
-    let mut fused_wins = 0usize;
-    let mut grid_cells = 0usize;
-    for wl_rows in reports.chunks(n_df * n_arch) {
-        let ws_rows = &wl_rows[..n_arch]; // Dataflow::all() puts WS first.
-        for (di, df_rows) in wl_rows.chunks(n_arch).enumerate() {
-            for (r, ws) in df_rows.iter().zip(ws_rows) {
-                let t = r.total_traffic_bytes as f64;
-                let t_ws = (ws.total_traffic_bytes as f64).max(1.0);
-                let l = r.sim_latency_cycles as f64;
-                let l_ws = (ws.sim_latency_cycles as f64).max(1.0);
-                let e = r.compute_energy_pj;
-                let e_ws = ws.compute_energy_pj.max(f64::MIN_POSITIVE);
-                println!(
-                    "{:<5} {:<3} {:<8} {:>12.2} {:>8} {:>14.0} {:>8} {:>12.2} {:>8}",
-                    r.workload,
-                    r.dataflow,
-                    r.arch,
-                    t / 1e6,
-                    pim_bench::ratio(t / t_ws),
-                    l,
-                    pim_bench::ratio(l / l_ws),
-                    e / 1e9,
-                    pim_bench::ratio(e / e_ws),
-                );
-                grid_cells += 1;
-                if di == n_df - 1 && r.total_traffic_bytes < ws.total_traffic_bytes {
-                    fused_wins += 1;
-                }
-            }
-        }
-        println!();
-    }
-
-    println!(
-        "{grid_cells} grid cells; fused-layer moved strictly fewer inter-chiplet \
-         bytes than weight-stationary in {fused_wins}/{} (mix, arch) cells.",
-        grid_cells / n_df
-    );
-    println!("Re-stationing only ever replaces a larger activation slice, so no");
-    println!("mode exceeds the WS baseline; OS/IS trade activation slices for");
-    println!("staged weight tiles, FL elides fusible chain edges to halo bands.");
+    std::process::exit(pim_bench::cli::shim("dataflows"));
 }

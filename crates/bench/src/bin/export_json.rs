@@ -1,42 +1,7 @@
-//! Dumps every experiment result as JSON to stdout (for external
-//! plotting). Runs the fast experiments in full and the 3D optimization
-//! with the default budget. The 2.5D artifacts share one `SweepRunner`,
-//! so the four platforms are built exactly once for the whole dump.
-
-use pim_core::{experiments, SweepRunner, SystemConfig};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Dump {
-    table1: Vec<experiments::Table1Row>,
-    table2: Vec<experiments::Table2Row>,
-    fig2: Vec<topology::TopologySummary>,
-    fig345: Vec<pim_core::WorkloadReport>,
-    cost: Vec<experiments::CostRow>,
-    fig6: Vec<experiments::Fig6Row>,
-    fig7: experiments::Fig7Maps,
-    transformer: Vec<(String, Vec<dnn::StorageRow>)>,
-    activations: Vec<experiments::ActivationRow>,
-}
+//! Deprecated shim: forwards to `pim-bench run all --format json`,
+//! which supersedes this binary (uniform structured output per
+//! experiment instead of the old ad-hoc dump shape).
 
 fn main() {
-    let cfg25 = SystemConfig::datacenter_25d();
-    let cfg3d = SystemConfig::stacked_3d();
-    let runner = SweepRunner::new(&cfg25).expect("paper architectures build");
-    let sa = experiments::joint_sa_config();
-    let dump = Dump {
-        table1: experiments::table1_rows(),
-        table2: experiments::table2_rows(),
-        fig2: runner.fig2_summaries(),
-        fig345: runner.fig345_sweep(),
-        cost: experiments::cost_rows_on(&runner),
-        fig6: experiments::fig6_rows(&cfg3d, &sa),
-        fig7: experiments::fig7_maps(&cfg3d, &sa),
-        transformer: experiments::transformer_rows(),
-        activations: experiments::activation_rows(),
-    };
-    println!(
-        "{}",
-        serde_json::to_string_pretty(&dump).expect("serializable")
-    );
+    std::process::exit(pim_bench::cli::export_json_shim());
 }

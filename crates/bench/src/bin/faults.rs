@@ -1,42 +1,7 @@
-//! Fault-injection ablation: dead chiplets force the SFC mapping to
-//! re-stitch around them. Sweeps the fault count on the Floret NoI and
-//! reports how the mapping quality degrades (DESIGN.md stretch item).
-//! The independent fault points fan across the sweep engine's workers.
-
-use pim_core::{parallel_map, NoiArch, SweepRunner, SystemConfig};
-use topology::NodeId;
+//! Thin shim: delegates to the experiment registry, identical to
+//! `pim-bench run faults` (kept so existing README/CI invocations keep
+//! working). Extra flags pass through: `faults --format json` works.
 
 fn main() {
-    let cfg = SystemConfig::datacenter_25d();
-    let runner = SweepRunner::new(&cfg).expect("paper architectures build");
-    let platform = runner.platform(&NoiArch::Floret { lambda: 6 });
-    let wl = dnn::table2_workload("WL1").expect("WL1");
-
-    pim_bench::section("fault injection on Floret (WL1): SFC re-stitching");
-    println!(
-        "{:>7} {:>12} {:>12} {:>10} {:>10}",
-        "faults", "mapped", "failed", "mean hops", "departures"
-    );
-    let fault_counts = [0usize, 2, 5, 10, 15, 20, 30];
-    let rows = parallel_map(&fault_counts, runner.threads(), |&n_faults| {
-        // Deterministic fault pattern: every k-th chiplet of the grid.
-        let failed: Vec<NodeId> = (0..n_faults)
-            .map(|i| NodeId(((i * 37 + 13) % 100) as u32))
-            .collect();
-        let outcome = platform.map_workload_churn_with_faults(&wl, &failed);
-        let (hops, _) = platform.degraded_hops(&wl, &failed);
-        (
-            n_faults,
-            outcome.placements.len(),
-            outcome.failed.len(),
-            hops,
-            outcome.departures,
-        )
-    });
-    for (n_faults, mapped, failed, hops, departures) in rows {
-        println!("{n_faults:>7} {mapped:>12} {failed:>12} {hops:>10.2} {departures:>10}");
-    }
-    println!("\nThe curve re-stitches over dead chiplets: hop counts grow gracefully");
-    println!("with the fault count and every task still completes (no task loss until");
-    println!("capacity itself is exhausted).");
+    std::process::exit(pim_bench::cli::shim("faults"));
 }

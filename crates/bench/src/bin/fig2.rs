@@ -1,41 +1,7 @@
-//! Regenerates Fig. 2: router-port configuration (a) and total link
-//! counts (b) for Kite, SIAM, SWAP and Floret at 100 chiplets.
-
-use pim_core::SystemConfig;
+//! Thin shim: delegates to the experiment registry, identical to
+//! `pim-bench run fig2` (kept so existing README/CI invocations keep
+//! working). Extra flags pass through: `fig2 --format json` works.
 
 fn main() {
-    let cfg = SystemConfig::datacenter_25d();
-    let rows = pim_core::experiments::fig2_summaries(&cfg);
-
-    pim_bench::section("Fig. 2(a): router-port histogram (ports -> routers)");
-    for r in &rows {
-        let hist: Vec<String> = r
-            .port_histogram
-            .iter()
-            .map(|(p, c)| format!("{p}p:{c}"))
-            .collect();
-        println!("{:<22} {}", r.name, hist.join("  "));
-    }
-
-    pim_bench::section("Fig. 2(b): links and wiring");
-    println!(
-        "{:<22} {:>6} {:>10} {:>10} {:>9} {:>10}",
-        "arch", "links", "wire(hops)", "area(mm2)", "avg hops", "bisection"
-    );
-    for r in &rows {
-        println!(
-            "{:<22} {:>6} {:>10} {:>10.1} {:>9.2} {:>10}",
-            r.name, r.links, r.total_wire_hops, r.noi_area_mm2, r.avg_hops, r.bisection_links
-        );
-    }
-
-    pim_bench::section("link-length histogram (hops -> links)");
-    for r in &rows {
-        let hist: Vec<String> = r
-            .link_length_histogram
-            .iter()
-            .map(|(l, c)| format!("{l}h:{c}"))
-            .collect();
-        println!("{:<22} {}", r.name, hist.join("  "));
-    }
+    std::process::exit(pim_bench::cli::shim("fig2"));
 }

@@ -1,33 +1,7 @@
-//! Regenerates Fig. 3: NoI latency for the Table II mixes on the four
-//! architectures, normalized to Floret. Runs on the shared `SweepRunner`
-//! engine: each platform is built once and the 20 (mix, arch) cells fan
-//! across worker threads with deterministic output order.
-
-use pim_bench::normalize_to_floret;
-use pim_core::{SweepRunner, SystemConfig};
+//! Thin shim: delegates to the experiment registry, identical to
+//! `pim-bench run fig3` (kept so existing README/CI invocations keep
+//! working). Extra flags pass through: `fig3 --format json` works.
 
 fn main() {
-    let cfg = SystemConfig::datacenter_25d();
-    let runner = SweepRunner::new(&cfg).expect("paper architectures build");
-    pim_bench::section("Fig. 3: NoI latency (DES on co-resident traffic), normalized to Floret");
-    println!(
-        "{:<5} {:<8} {:>14} {:>8} {:>10}",
-        "mix", "arch", "latency(cyc)", "norm", "hops"
-    );
-    let reports = runner.fig345_sweep();
-    for rows in reports.chunks(runner.platforms().len()) {
-        let norm = normalize_to_floret(rows, |r| r.sim_latency_cycles as f64);
-        for (r, (_, v, n)) in rows.iter().zip(norm) {
-            println!(
-                "{:<5} {:<8} {:>14.0} {:>8} {:>10.2}",
-                r.workload,
-                r.arch,
-                v,
-                pim_bench::ratio(n),
-                r.mean_weighted_hops
-            );
-        }
-    }
-    println!("\nPaper: Kite/SIAM up to 2.24x worse than Floret; we reproduce the");
-    println!("ordering with milder ratios (see EXPERIMENTS.md).");
+    std::process::exit(pim_bench::cli::shim("fig3"));
 }

@@ -1,37 +1,7 @@
-//! Regenerates Fig. 4: chiplet resource utilization under the
-//! hard-contiguity admission model (SWAP strands unmapped chiplets).
-//! The (mix, arch) admission grid runs on the shared `SweepRunner`
-//! platforms, fanned across worker threads.
-
-use pim_core::{parallel_map, Platform25D, SweepRunner, SystemConfig};
+//! Thin shim: delegates to the experiment registry, identical to
+//! `pim-bench run fig4` (kept so existing README/CI invocations keep
+//! working). Extra flags pass through: `fig4 --format json` works.
 
 fn main() {
-    let cfg = SystemConfig::datacenter_25d();
-    let runner = SweepRunner::new(&cfg).expect("paper architectures build");
-    pim_bench::section("Fig. 4: chiplet utilization (wave admission, radius-2 contiguity)");
-    println!(
-        "{:<5} {:<8} {:>7} {:>9} {:>8}",
-        "mix", "arch", "waves", "mean util", "failed"
-    );
-    let workloads: Vec<dnn::Workload> = ["WL1", "WL2", "WL3", "WL4", "WL5"]
-        .into_iter()
-        .map(|n| dnn::table2_workload(n).expect("table workload"))
-        .collect();
-    let cells: Vec<(&dnn::Workload, &Platform25D)> = workloads
-        .iter()
-        .flat_map(|wl| runner.platforms().iter().map(move |p| (wl, p)))
-        .collect();
-    let outcomes = parallel_map(&cells, runner.threads(), |&(wl, p)| p.map_workload(wl));
-    for ((wl, p), out) in cells.iter().zip(&outcomes) {
-        println!(
-            "{:<5} {:<8} {:>7} {:>9.2} {:>8}",
-            wl.name,
-            p.arch_name(),
-            out.waves.len(),
-            out.mean_utilization(),
-            out.failed.len()
-        );
-    }
-    println!("\nPaper: greedy mapping on SWAP leaves many unmapped (NM) chiplets;");
-    println!("Floret's SFC mapping keeps utilization high.");
+    std::process::exit(pim_bench::cli::shim("fig4"));
 }

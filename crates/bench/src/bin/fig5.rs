@@ -1,38 +1,7 @@
-//! Regenerates Fig. 5: NoI energy for the Table II mixes, normalized to
-//! Floret (paper: 1.65x vs SIAM, 2.8x vs Kite on average). Runs on the
-//! shared `SweepRunner` engine (platforms built once, cells in parallel,
-//! deterministic output order).
-
-use pim_bench::normalize_to_floret;
-use pim_core::{SweepRunner, SystemConfig};
+//! Thin shim: delegates to the experiment registry, identical to
+//! `pim-bench run fig5` (kept so existing README/CI invocations keep
+//! working). Extra flags pass through: `fig5 --format json` works.
 
 fn main() {
-    let cfg = SystemConfig::datacenter_25d();
-    let runner = SweepRunner::new(&cfg).expect("paper architectures build");
-    pim_bench::section("Fig. 5: NoI energy (dynamic + static), normalized to Floret");
-    println!(
-        "{:<5} {:<8} {:>12} {:>8}",
-        "mix", "arch", "energy(pJ)", "norm"
-    );
-    let mut sums: std::collections::BTreeMap<String, (f64, u32)> = Default::default();
-    let reports = runner.fig345_sweep();
-    for rows in reports.chunks(runner.platforms().len()) {
-        let norm = normalize_to_floret(rows, |r| r.noi_energy_pj);
-        for (r, (arch, v, n)) in rows.iter().zip(norm) {
-            println!(
-                "{:<5} {:<8} {:>12.3e} {:>8}",
-                r.workload,
-                arch,
-                v,
-                pim_bench::ratio(n)
-            );
-            let e = sums.entry(arch).or_insert((0.0, 0));
-            e.0 += n;
-            e.1 += 1;
-        }
-    }
-    pim_bench::section("average normalized energy (paper: SIAM 1.65x, Kite 2.8x)");
-    for (arch, (sum, count)) in sums {
-        println!("{:<8} {}", arch, pim_bench::ratio(sum / count as f64));
-    }
+    std::process::exit(pim_bench::cli::shim("fig5"));
 }

@@ -1,64 +1,7 @@
-//! Regenerates Fig. 6: EDP (a), peak temperature (b) and thermal-noise
-//! accuracy impact (c) for the Floret-enabled vs joint
-//! performance-thermal 3D NoC on the 100-PE system.
-
-use pim::baseline_top1;
-use pim_core::{experiments, SystemConfig};
+//! Thin shim: delegates to the experiment registry, identical to
+//! `pim-bench run fig6` (kept so existing README/CI invocations keep
+//! working). Extra flags pass through: `fig6 --format json` works.
 
 fn main() {
-    let cfg = SystemConfig::stacked_3d();
-    let sa = experiments::joint_sa_config();
-    let rows = experiments::fig6_rows(&cfg, &sa);
-
-    pim_bench::section("Fig. 6(a): EDP (J*s); Floret-NoC is performance-only");
-    println!(
-        "{:<5} {:<11} {:>12} {:>12} {:>14}",
-        "id", "model", "Floret", "Joint", "Floret better"
-    );
-    for r in &rows {
-        println!(
-            "{:<5} {:<11} {:>12.3e} {:>12.3e} {:>13.1}%",
-            r.id,
-            r.model,
-            r.floret.edp_js,
-            r.joint.edp_js,
-            (r.joint.edp_js / r.floret.edp_js - 1.0) * 100.0
-        );
-    }
-
-    pim_bench::section("Fig. 6(b): peak temperature (K)");
-    println!(
-        "{:<5} {:<11} {:>8} {:>8} {:>7}",
-        "id", "model", "Floret", "Joint", "delta"
-    );
-    for r in &rows {
-        println!(
-            "{:<5} {:<11} {:>8.1} {:>8.1} {:>7.1}",
-            r.id,
-            r.model,
-            r.floret.peak_k,
-            r.joint.peak_k,
-            r.floret.peak_k - r.joint.peak_k
-        );
-    }
-
-    pim_bench::section("Fig. 6(c): top-1 accuracy under thermal noise");
-    println!(
-        "{:<5} {:<11} {:>9} {:>9} {:>9} {:>10}",
-        "id", "model", "baseline", "Floret", "Joint", "drop(F)"
-    );
-    for r in &rows {
-        let entry = dnn::table1_entry(&r.id).expect("table entry");
-        let base = baseline_top1(entry.kind, entry.dataset);
-        println!(
-            "{:<5} {:<11} {:>9.3} {:>9.3} {:>9.3} {:>9.1}%",
-            r.id,
-            r.model,
-            base,
-            base - r.floret.accuracy_drop,
-            base - r.joint.accuracy_drop,
-            r.floret.accuracy_drop * 100.0
-        );
-    }
-    println!("\nPaper: Floret-NoC ~9% lower EDP, ~13K hotter, up to 11% accuracy loss.");
+    std::process::exit(pim_bench::cli::shim("fig6"));
 }

@@ -1,37 +1,7 @@
-//! Regenerates Fig. 7: bottom-tier thermal hotspot maps for ResNet-34 on
-//! the 100-PE 3D system (Floret/performance-only vs thermal-aware).
-
-use pim_bench::ascii_heatmap;
-use pim_core::{experiments, SystemConfig};
+//! Thin shim: delegates to the experiment registry, identical to
+//! `pim-bench run fig7` (kept so existing README/CI invocations keep
+//! working). Extra flags pass through: `fig7 --format json` works.
 
 fn main() {
-    let cfg = SystemConfig::stacked_3d();
-    let sa = experiments::joint_sa_config();
-    let maps = experiments::fig7_maps(&cfg, &sa);
-    let lo = 300.0;
-    let hi = maps.floret_peak_k.max(maps.joint_peak_k);
-
-    pim_bench::section("Fig. 7(a): bottom tier, Floret-based 3D NoC (ResNet-34)");
-    print!("{}", ascii_heatmap(&maps.floret_bottom_tier, lo, hi));
-    println!(
-        "peak = {:.1} K, hotspots (>=330K) = {}",
-        maps.floret_peak_k, maps.floret_hotspots
-    );
-
-    pim_bench::section("Fig. 7(b): bottom tier, thermal-aware 3D NoC");
-    print!("{}", ascii_heatmap(&maps.joint_bottom_tier, lo, hi));
-    println!(
-        "peak = {:.1} K, hotspots (>=330K) = {}",
-        maps.joint_peak_k, maps.joint_hotspots
-    );
-
-    println!(
-        "\npeak delta = {:.1} K (paper: 17 K for ResNet-34)",
-        maps.floret_peak_k - maps.joint_peak_k
-    );
-    println!("\nraw bottom-tier temperatures (K), Floret:");
-    for row in &maps.floret_bottom_tier {
-        let cells: Vec<String> = row.iter().map(|t| format!("{t:6.1}")).collect();
-        println!("  {}", cells.join(" "));
-    }
+    std::process::exit(pim_bench::cli::shim("fig7"));
 }

@@ -1,43 +1,7 @@
-//! Section IV design-space study: all-PIM vs all-digital vs the paper's
-//! heterogeneous PIM + digital platform for BERT inference.
-
-use pim_core::hetero::{transformer_design_points, HeteroConfig};
+//! Thin shim: delegates to the experiment registry, identical to
+//! `pim-bench run hetero` (kept so existing README/CI invocations keep
+//! working). Extra flags pass through: `hetero --format json` works.
 
 fn main() {
-    for (name, bert, seq) in [
-        ("BERT-Tiny", dnn::BertConfig::tiny(), 128u32),
-        ("BERT-Base", dnn::BertConfig::base(), 512u32),
-    ] {
-        let cfg = HeteroConfig {
-            bert,
-            seq,
-            ..HeteroConfig::default()
-        };
-        pim_bench::section(&format!("{name} @ seq={seq}: platform design points"));
-        println!(
-            "{:<14} {:>12} {:>12} {:>6} {:>6} {:>14} {:>14}",
-            "platform", "latency(ns)", "energy(pJ)", "PIM", "dig", "writes/inf", "lifetime(inf)"
-        );
-        for eval in transformer_design_points(&cfg) {
-            let lifetime = if eval.lifetime_inferences == u64::MAX {
-                "unlimited".to_string()
-            } else {
-                format!("{:.1e}", eval.lifetime_inferences as f64)
-            };
-            println!(
-                "{:<14} {:>12.3e} {:>12.3e} {:>6} {:>6} {:>14} {:>14}",
-                eval.platform.to_string(),
-                eval.latency_ns,
-                eval.energy_pj,
-                eval.pim_chiplets,
-                eval.digital_chiplets,
-                eval.crossbar_writes,
-                lifetime
-            );
-        }
-    }
-    println!("\nAll-PIM dies on ReRAM endurance within ~1e6 inferences; all-digital pays");
-    println!("3-4x the energy on the static kernels. The heterogeneous platform keeps the");
-    println!("SFC PIM macro for FF/projections and splices digital chiplets in for");
-    println!("attention — the Section IV proposal, quantified.");
+    std::process::exit(pim_bench::cli::shim("hetero"));
 }

@@ -1,36 +1,7 @@
-//! Ablation: the full EDP-vs-peak-temperature Pareto front of layer
-//! placements on the 100-PE 3D system (NSGA-II), putting the single
-//! "joint performance-thermal" point of Figs. 6-7 in context.
-
-use dnn::{build_model, Dataset, ModelKind, SegmentGraph};
-use pim_core::{Platform3D, SystemConfig};
+//! Thin shim: delegates to the experiment registry, identical to
+//! `pim-bench run pareto` (kept so existing README/CI invocations keep
+//! working). Extra flags pass through: `pareto --format json` works.
 
 fn main() {
-    let cfg = SystemConfig::stacked_3d();
-    let platform = Platform3D::new(&cfg).expect("3d platform");
-    let net = build_model(ModelKind::ResNet34, Dataset::Cifar10).expect("resnet34");
-    let sg = SegmentGraph::from_layer_graph(&net);
-
-    let nsga = opt::NsgaConfig {
-        population: 32,
-        generations: 30,
-        seed: 0xFACE,
-    };
-    pim_bench::section("ResNet-34 placement Pareto front (EDP vs peak temperature)");
-    let front = platform.pareto_front(&sg, &nsga).expect("fits");
-    println!(
-        "{:>10} {:>10} {:>10} {:>12}",
-        "EDP(norm)", "peak(K)", "hotspots", "acc drop"
-    );
-    for p in &front {
-        println!(
-            "{:>10.3} {:>10.1} {:>10} {:>11.1}%",
-            p.edp_norm,
-            p.peak_k,
-            p.eval.hotspots,
-            p.eval.accuracy_drop * 100.0
-        );
-    }
-    println!("\n(the SFC order anchors EDP = 1.0; the paper's joint design point");
-    println!(" sits on the knee of this front)");
+    std::process::exit(pim_bench::cli::shim("pareto"));
 }

@@ -1,73 +1,7 @@
-//! Standalone NoC characterization: the four NoIs under classic synthetic
-//! traffic patterns (independent of any DNN workload). Shows where each
-//! topology's structure helps and hurts. The platforms (and their route
-//! tables) come from the shared `SweepRunner` cache instead of being
-//! rebuilt per (pattern, arch) cell.
-
-use netsim::{analyze_with_table, generate_pattern, simulate_with_table, SimConfig};
-use pim_core::{SweepRunner, SystemConfig};
+//! Thin shim: delegates to the experiment registry, identical to
+//! `pim-bench run patterns` (kept so existing README/CI invocations keep
+//! working). Extra flags pass through: `patterns --format json` works.
 
 fn main() {
-    let cfg = SystemConfig::datacenter_25d();
-    let runner = SweepRunner::new(&cfg).expect("paper architectures build");
-    pim_bench::section("synthetic traffic characterization (100 chiplets, 4 KB/flow)");
-    println!(
-        "{:<11} {:<8} {:>10} {:>12} {:>12}",
-        "pattern", "arch", "avg hops", "makespan", "energy(pJ)"
-    );
-    for pattern in netsim::all_patterns() {
-        for p in runner.platforms() {
-            let flows = generate_pattern(p.topology(), pattern, 4096, 7);
-            let ana = analyze_with_table(p.topology(), &cfg.hw, &flows, p.route_table());
-            let des = simulate_with_table(
-                p.topology(),
-                &cfg.hw,
-                &flows,
-                &SimConfig::default(),
-                p.route_table(),
-            );
-            println!(
-                "{:<11} {:<8} {:>10.2} {:>12} {:>12.3e}",
-                pattern.to_string(),
-                p.arch_name(),
-                ana.mean_weighted_hops,
-                des.makespan_cycles,
-                ana.total_energy_pj
-            );
-        }
-    }
-    pim_bench::section("pipeline traffic along each architecture's own mapping order");
-    println!(
-        "{:<8} {:>10} {:>12} {:>12}",
-        "arch", "avg hops", "makespan", "energy(pJ)"
-    );
-    for p in runner.platforms() {
-        // Floret streams along its curve; the others along id (row-major)
-        // order — each architecture's natural dataflow mapping.
-        let order: Vec<topology::NodeId> = match p.layout() {
-            Some(layout) => layout.global_order(),
-            None => (0..p.topology().node_count() as u32)
-                .map(topology::NodeId)
-                .collect(),
-        };
-        let flows = netsim::generate_pipeline(&order, 4096);
-        let ana = analyze_with_table(p.topology(), &cfg.hw, &flows, p.route_table());
-        let des = simulate_with_table(
-            p.topology(),
-            &cfg.hw,
-            &flows,
-            &SimConfig::default(),
-            p.route_table(),
-        );
-        println!(
-            "{:<8} {:>10.2} {:>12} {:>12.3e}",
-            p.arch_name(),
-            ana.mean_weighted_hops,
-            des.makespan_cycles,
-            ana.total_energy_pj
-        );
-    }
-    println!("\nMapped along its own curve, Floret's pipeline is pure single-hop — the");
-    println!("dataflow-aware premise. Random/complement traffic is where low-bisection");
-    println!("chains pay, which is why Floret is a co-design of topology AND mapping.");
+    std::process::exit(pim_bench::cli::shim("patterns"));
 }

@@ -1,0 +1,8 @@
+//! The unified experiment CLI: `pim-bench list`, `pim-bench describe
+//! <name>`, `pim-bench run <name|all> [--format table|json|csv]
+//! [--out <path>] [--threads N] [--set key=value] ...`. Every paper
+//! artifact is resolved through the `pim_core` experiment registry.
+
+fn main() {
+    std::process::exit(pim_bench::cli::run_from(std::env::args().skip(1)));
+}

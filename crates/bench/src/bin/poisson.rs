@@ -1,52 +1,7 @@
-//! Datacenter service-model ablation: Poisson arrivals with exponential
-//! service times on the four NoIs, sweeping offered load. Reports
-//! time-weighted utilization, admission waits and resident task counts.
-//! Platforms come from the shared `SweepRunner` cache (built once, not
-//! per load point).
-
-use mapper::{run_poisson, ArrivalConfig, GreedyConfig, Strategy};
-use pim_core::{Platform25D, SweepRunner, SystemConfig};
+//! Thin shim: delegates to the experiment registry, identical to
+//! `pim-bench run poisson` (kept so existing README/CI invocations keep
+//! working). Extra flags pass through: `poisson --format json` works.
 
 fn main() {
-    let cfg = SystemConfig::datacenter_25d();
-    let runner = SweepRunner::new(&cfg).expect("paper architectures build");
-    let wl = dnn::table2_workload("WL3").expect("WL3: the largest mix");
-    let graphs = Platform25D::task_graphs(&wl);
-
-    pim_bench::section("Poisson arrivals, WL3 task population (52 DNNs)");
-    println!(
-        "{:<8} {:>6} {:>12} {:>11} {:>12} {:>9}",
-        "arch", "load", "utilization", "mean wait", "mean tasks", "failed"
-    );
-    for mean_interarrival in [2.0, 1.0, 0.5] {
-        let arr = ArrivalConfig {
-            mean_interarrival,
-            mean_service: 8.0,
-            seed: 0xA221,
-        };
-        for platform in runner.platforms() {
-            let strategy = match platform.layout() {
-                Some(layout) => Strategy::sfc(layout),
-                None => Strategy::greedy(platform.topology(), GreedyConfig::soft()),
-            };
-            let out = run_poisson(
-                &graphs,
-                cfg.node_count(),
-                cfg.node_capacity(),
-                &strategy,
-                &arr,
-            );
-            println!(
-                "{:<8} {:>6.1} {:>12.2} {:>11.2} {:>12.1} {:>9}",
-                platform.arch_name(),
-                8.0 / mean_interarrival,
-                out.utilization,
-                out.mean_wait,
-                out.mean_resident,
-                out.failed.len()
-            );
-        }
-    }
-    println!("\nHigher offered load raises utilization and admission waits; the SFC");
-    println!("mapping sustains the same load with contiguous placements throughout.");
+    std::process::exit(pim_bench::cli::shim("poisson"));
 }

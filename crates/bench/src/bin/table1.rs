@@ -1,18 +1,7 @@
-//! Regenerates Table I: the thirteen DNN workloads and their trainable
-//! parameter counts (paper-printed vs computed from real architectures).
+//! Thin shim: delegates to the experiment registry, identical to
+//! `pim-bench run table1` (kept so existing README/CI invocations keep
+//! working). Extra flags pass through: `table1 --format json` works.
 
 fn main() {
-    pim_bench::section("Table I: DNN inference workloads, trainable parameters");
-    println!(
-        "{:<5} {:<12} {:<9} {:>10} {:>12}",
-        "id", "model", "dataset", "paper (M)", "computed (M)"
-    );
-    for r in pim_core::experiments::table1_rows() {
-        println!(
-            "{:<5} {:<12} {:<9} {:>10.2} {:>12.2}",
-            r.id, r.model, r.dataset, r.paper_params_m, r.computed_params_m
-        );
-    }
-    println!("\nNote: several printed values are inconsistent with the standard");
-    println!("architectures (see EXPERIMENTS.md); the CIFAR-10 rows match within 6%.");
+    std::process::exit(pim_bench::cli::shim("table1"));
 }

@@ -1,16 +1,7 @@
-//! Regenerates Table II: the five concurrent-DNN workload mixes and their
-//! total parameter counts.
+//! Thin shim: delegates to the experiment registry, identical to
+//! `pim-bench run table2` (kept so existing README/CI invocations keep
+//! working). Extra flags pass through: `table2 --format json` works.
 
 fn main() {
-    pim_bench::section("Table II: concurrent DNN task mixes (100-chiplet system)");
-    println!(
-        "{:<5} {:>6} {:>10} {:>13}",
-        "mix", "tasks", "paper (B)", "computed (B)"
-    );
-    for r in pim_core::experiments::table2_rows() {
-        println!(
-            "{:<5} {:>6} {:>10.1} {:>13.2}",
-            r.name, r.tasks, r.paper_total_b, r.computed_total_b
-        );
-    }
+    std::process::exit(pim_bench::cli::shim("table2"));
 }

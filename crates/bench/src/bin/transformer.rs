@@ -1,42 +1,7 @@
-//! Regenerates the Section IV Transformer analysis: intermediate-matrix
-//! storage pressure for BERT-Tiny and BERT-Base (paper: 2.06x / 8.98x),
-//! plus the write-endurance lifetime bound that rules out NVM crossbars
-//! for self-attention.
-
-use dnn::{lifetime_inferences, BertConfig};
+//! Thin shim: delegates to the experiment registry, identical to
+//! `pim-bench run transformer` (kept so existing README/CI invocations keep
+//! working). Extra flags pass through: `transformer --format json` works.
 
 fn main() {
-    pim_bench::section("Section IV: intermediate-matrix storage vs weights");
-    for (name, rows) in pim_core::experiments::transformer_rows() {
-        println!("\n{name}:");
-        println!(
-            "{:>6} {:>16} {:>22} {:>22}",
-            "seq", "inter/layer", "vs attn W (fp16/int8)", "vs layer W (same prec)"
-        );
-        for r in rows {
-            println!(
-                "{:>6} {:>16} {:>22.2} {:>22.2}",
-                r.seq,
-                r.intermediates_per_layer,
-                r.ratio_attention_fp16_int8,
-                r.ratio_layer_same_precision
-            );
-        }
-    }
-    println!("\nPaper: BERT-Base 8.98x, BERT-Tiny 2.06x. Our fp16/int8 attention-weight");
-    println!("accounting reproduces the BERT-Base regime at seq=512 (~9.3x).");
-
-    pim_bench::section("write-endurance lifetime if intermediates lived in ReRAM");
-    for (name, cfg) in [
-        ("BERT-Tiny", BertConfig::tiny()),
-        ("BERT-Base", BertConfig::base()),
-    ] {
-        let writes = cfg.writes_per_inference(512);
-        let life = lifetime_inferences(writes, 100_000_000, 1_000_000);
-        println!(
-            "{name}: {writes} cell-writes/inference -> device wears out after ~{life} inferences"
-        );
-    }
-    println!("(a datacenter accelerator serves billions of inferences: NVM-PIM is unsuitable");
-    println!(" for attention intermediates, motivating heterogeneous integration)");
+    std::process::exit(pim_bench::cli::shim("transformer"));
 }

@@ -1,12 +1,13 @@
-//! Shared output helpers for the reproduction binaries (`table1`,
-//! `fig2`, ... — one per table/figure of the paper) and the criterion
-//! benches.
+//! The presentation crate for the reproduction: the unified `pim-bench`
+//! CLI ([`cli`]) over `pim_core`'s experiment registry, the structured
+//! output renderers ([`output`]), and the criterion benches.
 //!
-//! Each binary under `src/bin/` regenerates one paper artifact on the
-//! `pim_core` experiment entry points; this library only owns the
-//! presentation: section rules, ratio formatting, Floret-normalized
-//! figure rows and ASCII heat maps. See the "Reproducing the figures"
-//! table in the README for the binary ↔ figure mapping.
+//! Every paper artifact (Tables I-II, Figs. 2-7, the ablations) is a
+//! registry entry; `pim-bench list | describe | run <name|all>` with
+//! `--format table|json|csv` replaces the twenty hand-rolled binaries.
+//! The per-figure binaries under `src/bin/` remain as thin shims that
+//! delegate to the registry ([`cli::shim`]) so existing CI invocations
+//! and README commands keep working.
 //!
 //! # Examples
 //!
@@ -22,70 +23,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use pim_core::WorkloadReport;
+pub mod cli;
+pub mod output;
 
-/// Prints a horizontal rule with a title.
-pub fn section(title: &str) {
-    println!("\n=== {title} ===");
-}
-
-/// Formats a ratio as `x.xx×`.
-pub fn ratio(v: f64) -> String {
-    format!("{v:.2}x")
-}
-
-/// Normalizes a metric across workload reports to the Floret row and
-/// returns `(arch, value, normalized)` triples in the input order.
-pub fn normalize_to_floret<F>(rows: &[WorkloadReport], metric: F) -> Vec<(String, f64, f64)>
-where
-    F: Fn(&WorkloadReport) -> f64,
-{
-    let floret = rows
-        .iter()
-        .find(|r| r.arch == "Floret")
-        .map(&metric)
-        .unwrap_or(1.0)
-        .max(f64::MIN_POSITIVE);
-    rows.iter()
-        .map(|r| {
-            let v = metric(r);
-            (r.arch.clone(), v, v / floret)
-        })
-        .collect()
-}
-
-/// Renders a tier temperature slice as an ASCII heat map (one char per
-/// PE, `.:oO#@` buckets relative to the given range).
-pub fn ascii_heatmap(slice: &[Vec<f64>], lo: f64, hi: f64) -> String {
-    let chars = ['.', ':', 'o', 'O', '#', '@'];
-    let mut out = String::new();
-    for row in slice {
-        for &t in row {
-            let f = ((t - lo) / (hi - lo)).clamp(0.0, 0.999);
-            let idx = (f * chars.len() as f64) as usize;
-            out.push(chars[idx]);
-            out.push(' ');
-        }
-        out.push('\n');
-    }
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn heatmap_shape() {
-        let slice = vec![vec![300.0, 350.0], vec![400.0, 325.0]];
-        let map = ascii_heatmap(&slice, 300.0, 400.0);
-        assert_eq!(map.lines().count(), 2);
-        assert!(map.starts_with(". "));
-        assert!(map.contains('@'));
-    }
-
-    #[test]
-    fn ratio_format() {
-        assert_eq!(ratio(2.236), "2.24x");
-    }
-}
+pub use output::{ascii_heatmap, normalize_to_floret, ratio, section};

@@ -1,0 +1,291 @@
+//! The presentation layer: renders [`ExperimentOutput`] as an aligned
+//! ASCII table, JSON (via the vendored `serde_json`) or CSV, plus the
+//! formatting helpers the legacy binaries shared (`section`, `ratio`,
+//! and re-exports of the normalization/heat-map helpers that live with
+//! the experiment code in `pim_core`).
+//!
+//! Every format renders the *same* structured data — the typed column
+//! schema decides alignment and float precision, so no experiment owns
+//! a `println!` format string anymore.
+
+use std::fmt;
+use std::str::FromStr;
+
+use pim_core::{CellValue, ColumnType, ExperimentOutput, Table};
+
+pub use pim_core::experiments::{ascii_heatmap, normalize_to_floret};
+
+/// Prints a horizontal rule with a title.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Formats a ratio as `x.xx×`.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Output format selector for the `pim-bench` CLI (`--format`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// Aligned human-readable tables (the default).
+    Table,
+    /// Pretty-printed JSON array of [`ExperimentOutput`]s.
+    Json,
+    /// CSV, one header+rows block per table with `#` comment lines.
+    Csv,
+}
+
+impl FromStr for Format {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "table" => Ok(Format::Table),
+            "json" => Ok(Format::Json),
+            "csv" => Ok(Format::Csv),
+            other => Err(format!(
+                "unknown format `{other}` (expected table, json or csv)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Format::Table => "table",
+            Format::Json => "json",
+            Format::Csv => "csv",
+        })
+    }
+}
+
+/// Renders one cell per its column's type: fixed or scientific float
+/// precision, `x.xx×`-style ratios, plain integers and labels.
+pub fn format_cell(v: &CellValue, ty: &ColumnType) -> String {
+    match (v, ty) {
+        (CellValue::Str(s), _) => s.clone(),
+        (CellValue::UInt(u), _) => u.to_string(),
+        (CellValue::Int(i), _) => i.to_string(),
+        (CellValue::Float(f), ColumnType::Ratio) => ratio(*f),
+        (
+            CellValue::Float(f),
+            ColumnType::Float {
+                precision,
+                scientific: true,
+            },
+        ) => format!("{f:.prec$e}", prec = *precision as usize),
+        (
+            CellValue::Float(f),
+            ColumnType::Float {
+                precision,
+                scientific: false,
+            },
+        ) => format!("{f:.prec$}", prec = *precision as usize),
+        // Schema mismatch (caught by Table::validate in tests): shortest
+        // faithful rendering.
+        (CellValue::Float(f), _) => f.to_string(),
+    }
+}
+
+/// The raw (format-hint-free) rendering used by CSV: floats keep full
+/// precision so the output stays machine-consumable.
+fn raw_cell(v: &CellValue) -> String {
+    match v {
+        CellValue::Str(s) => s.clone(),
+        CellValue::UInt(u) => u.to_string(),
+        CellValue::Int(i) => i.to_string(),
+        CellValue::Float(f) => f.to_string(),
+    }
+}
+
+fn render_table_text(t: &Table, out: &mut String) {
+    out.push_str(&format!("\n=== {} ===\n", t.title));
+    let mut cells: Vec<Vec<String>> = vec![t.columns.iter().map(|c| c.name.clone()).collect()];
+    for row in &t.rows {
+        cells.push(
+            row.iter()
+                .zip(&t.columns)
+                .map(|(v, c)| format_cell(v, &c.ty))
+                .collect(),
+        );
+    }
+    let widths: Vec<usize> = (0..t.columns.len())
+        .map(|ci| cells.iter().map(|r| r[ci].len()).max().unwrap_or(0))
+        .collect();
+    for row in &cells {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&t.columns)
+            .zip(&widths)
+            .map(|((cell, col), w)| {
+                if matches!(col.ty, ColumnType::Str) {
+                    format!("{cell:<w$}")
+                } else {
+                    format!("{cell:>w$}")
+                }
+            })
+            .collect();
+        out.push_str(line.join("  ").trim_end());
+        out.push('\n');
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn render_table_csv(experiment: &str, t: &Table, out: &mut String) {
+    out.push_str(&format!(
+        "# experiment: {experiment} | table: {}\n",
+        t.title
+    ));
+    let header: Vec<String> = t.columns.iter().map(|c| csv_escape(&c.name)).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in &t.rows {
+        let line: Vec<String> = row.iter().map(|v| csv_escape(&raw_cell(v))).collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+}
+
+/// Renders experiment outputs in the requested [`Format`].
+///
+/// The table format reproduces the legacy binaries' sectioned layout
+/// (schema-driven alignment and precision); JSON is a pretty-printed
+/// array of the full structured outputs; CSV emits one header+rows
+/// block per table with `#` comment lines for provenance and notes.
+pub fn render(outputs: &[ExperimentOutput], format: Format) -> String {
+    let mut out = String::new();
+    match format {
+        Format::Table => {
+            for o in outputs {
+                for t in &o.tables {
+                    render_table_text(t, &mut out);
+                }
+                for note in &o.notes {
+                    out.push('\n');
+                    out.push_str(note.trim_end());
+                    out.push('\n');
+                }
+            }
+        }
+        Format::Json => {
+            out.push_str(&serde_json::to_string_pretty(&outputs).expect("serializable"));
+            out.push('\n');
+        }
+        Format::Csv => {
+            for o in outputs {
+                for t in &o.tables {
+                    render_table_csv(&o.experiment, t, &mut out);
+                }
+                for note in &o.notes {
+                    for line in note.lines() {
+                        out.push_str("# note: ");
+                        out.push_str(line);
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_core::Column;
+
+    fn sample() -> ExperimentOutput {
+        let mut o = ExperimentOutput::new("demo", "a demo");
+        let mut t = Table::new(
+            "demo table",
+            vec![
+                Column::str("name"),
+                Column::uint("n"),
+                Column::float("v", 2),
+                Column::sci("e", 3),
+                Column::ratio("r"),
+            ],
+        );
+        t.push(vec![
+            "alpha, beta".into(),
+            42u64.into(),
+            1.23456.into(),
+            512345.0.into(),
+            2.236.into(),
+        ]);
+        o.tables.push(t);
+        o.notes.push("a note".to_string());
+        o
+    }
+
+    #[test]
+    fn heatmap_shape() {
+        let slice = vec![vec![300.0, 350.0], vec![400.0, 325.0]];
+        let map = ascii_heatmap(&slice, 300.0, 400.0);
+        assert_eq!(map.lines().count(), 2);
+        assert!(map.starts_with(". "));
+        assert!(map.contains('@'));
+    }
+
+    #[test]
+    fn ratio_format() {
+        assert_eq!(ratio(2.236), "2.24x");
+    }
+
+    #[test]
+    fn format_parses_and_rejects() {
+        assert_eq!("table".parse::<Format>(), Ok(Format::Table));
+        assert_eq!("JSON".parse::<Format>(), Ok(Format::Json));
+        assert_eq!("csv".parse::<Format>(), Ok(Format::Csv));
+        assert!("yaml".parse::<Format>().is_err());
+    }
+
+    #[test]
+    fn cells_render_by_schema() {
+        let t = &sample().tables[0];
+        let rendered: Vec<String> = t.rows[0]
+            .iter()
+            .zip(&t.columns)
+            .map(|(v, c)| format_cell(v, &c.ty))
+            .collect();
+        assert_eq!(
+            rendered,
+            vec!["alpha, beta", "42", "1.23", "5.123e5", "2.24x"]
+        );
+    }
+
+    #[test]
+    fn table_format_aligns_and_sections() {
+        let text = render(&[sample()], Format::Table);
+        assert!(text.contains("=== demo table ==="), "{text}");
+        assert!(text.contains("2.24x"));
+        assert!(text.contains("\na note\n"));
+    }
+
+    #[test]
+    fn csv_escapes_and_headers() {
+        let text = render(&[sample()], Format::Csv);
+        assert!(text.contains("# experiment: demo | table: demo table"));
+        assert!(text.contains("name,n,v,e,r"));
+        assert!(text.contains("\"alpha, beta\""), "{text}");
+        assert!(text.contains("# note: a note"));
+    }
+
+    #[test]
+    fn json_round_trips_through_the_vendored_parser() {
+        let text = render(&[sample()], Format::Json);
+        let parsed = serde_json::from_str(&text).expect("valid JSON");
+        let re = serde_json::to_string(&parsed).unwrap();
+        assert!(re.contains("\"experiment\""));
+        assert!(re.contains("demo table"));
+    }
+}

@@ -1,0 +1,18 @@
+//! Shared helper for the CLI integration tests: spawn the real
+//! `pim-bench` binary and capture stdout.
+
+use std::process::Command;
+
+/// Runs `pim-bench` with `args`, asserting success, and returns stdout.
+pub fn run_cli(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_pim-bench"))
+        .args(args)
+        .output()
+        .expect("pim-bench spawns");
+    assert!(
+        out.status.success(),
+        "pim-bench {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}

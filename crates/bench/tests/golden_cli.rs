@@ -1,0 +1,83 @@
+//! Golden-file snapshot tests for the `pim-bench` CLI: the `table1`,
+//! `fig3` and `dataflows` outputs (table and JSON formats) are pinned
+//! byte-for-byte under `tests/golden/`. The numeric rows were verified
+//! identical to the pre-redesign per-figure binaries when the goldens
+//! were first recorded, so these snapshots carry that equivalence
+//! forward.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p pim_bench --test golden_cli
+//! ```
+
+use std::path::PathBuf;
+
+mod common;
+use common::run_cli;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn assert_golden(args: &[&str], file: &str) {
+    let actual = run_cli(args);
+    let path = golden_dir().join(file);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("golden dir");
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with UPDATE_GOLDEN=1 to record",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "pim-bench {args:?} drifted from {file}; if intentional, regenerate with \
+         UPDATE_GOLDEN=1 cargo test -p pim_bench --test golden_cli"
+    );
+}
+
+#[test]
+fn table1_table_format_is_pinned() {
+    assert_golden(&["run", "table1"], "table1.table.txt");
+}
+
+#[test]
+fn table1_json_format_is_pinned() {
+    assert_golden(&["run", "table1", "--format", "json"], "table1.json");
+}
+
+#[test]
+fn fig3_table_format_is_pinned() {
+    assert_golden(&["run", "fig3"], "fig3.table.txt");
+}
+
+#[test]
+fn fig3_json_format_is_pinned() {
+    assert_golden(&["run", "fig3", "--format", "json"], "fig3.json");
+}
+
+#[test]
+fn dataflows_table_format_is_pinned() {
+    assert_golden(&["run", "dataflows"], "dataflows.table.txt");
+}
+
+#[test]
+fn dataflows_json_format_is_pinned() {
+    assert_golden(&["run", "dataflows", "--format", "json"], "dataflows.json");
+}
+
+#[test]
+fn fig3_output_is_thread_count_independent() {
+    // The golden was recorded at the default worker count; one worker
+    // must reproduce it byte-for-byte (the engine determinism contract,
+    // now visible at the CLI boundary).
+    let single = run_cli(&["run", "fig3", "--threads", "1"]);
+    let expected = std::fs::read_to_string(golden_dir().join("fig3.table.txt"))
+        .expect("fig3 golden present (run UPDATE_GOLDEN=1 first)");
+    assert_eq!(single, expected);
+}

@@ -75,6 +75,27 @@ impl NoiArch {
     pub fn greedy_config(&self) -> GreedyConfig {
         GreedyConfig { radius: 2 }
     }
+
+    /// Parses a case-insensitive architecture name (`floret`, `siam`,
+    /// `kite`, `swap`) to its paper-default instance — the inverse of
+    /// [`NoiArch::name`], used by scenario specs and the `pim-bench`
+    /// `--arch` flag.
+    pub fn from_name(name: &str) -> Option<NoiArch> {
+        let canonical = name.to_ascii_lowercase();
+        NoiArch::all()
+            .into_iter()
+            .find(|a| a.name().to_ascii_lowercase() == canonical)
+    }
+}
+
+impl std::str::FromStr for NoiArch {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        NoiArch::from_name(s).ok_or_else(|| {
+            format!("unknown architecture `{s}` (expected Floret, SIAM, Kite or SWAP)")
+        })
+    }
 }
 
 #[cfg(test)]
@@ -94,5 +115,18 @@ mod tests {
     fn names_are_stable() {
         let names: Vec<&str> = NoiArch::all().iter().map(|a| a.name()).collect();
         assert_eq!(names, vec!["Kite", "SIAM", "SWAP", "Floret"]);
+    }
+
+    #[test]
+    fn from_name_round_trips_and_rejects() {
+        for arch in NoiArch::all() {
+            assert_eq!(NoiArch::from_name(arch.name()), Some(arch.clone()));
+            assert_eq!(
+                arch.name().to_lowercase().parse::<NoiArch>().as_ref(),
+                Ok(&arch)
+            );
+        }
+        assert!(NoiArch::from_name("torus").is_none());
+        assert!("torus".parse::<NoiArch>().is_err());
     }
 }

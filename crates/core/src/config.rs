@@ -1,9 +1,55 @@
-//! System-level configuration shared by the 2.5D and 3D platforms.
+//! System-level configuration shared by the 2.5D and 3D platforms,
+//! plus the validating builder behind the `pim-bench --set key=value`
+//! override surface.
+
+use std::fmt;
 
 use pim::PimConfig;
 use serde::{Deserialize, Serialize};
 use thermal::ThermalConfig;
 use topology::HwParams;
+
+/// Typed rejection of a degenerate or unparseable [`SystemConfig`].
+///
+/// Returned by [`SystemConfig::validate`] and
+/// [`SystemConfigBuilder::set`] instead of letting zero grid dimensions,
+/// `sim_sampling == 0` or `snapshot_every == 0` panic (division/modulo
+/// by zero) deep inside the platforms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A field that must be strictly positive is zero.
+    ZeroField(&'static str),
+    /// `--set key=value` named a key the builder does not know.
+    UnknownKey(String),
+    /// `--set key=value` value failed to parse for its key's type.
+    InvalidValue {
+        /// The override key.
+        key: String,
+        /// The unparseable value text.
+        value: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroField(field) => {
+                write!(f, "config field `{field}` must be > 0")
+            }
+            ConfigError::UnknownKey(key) => {
+                write!(
+                    f,
+                    "unknown config key `{key}` (see `SystemConfigBuilder::KEYS`)"
+                )
+            }
+            ConfigError::InvalidValue { key, value } => {
+                write!(f, "invalid value `{value}` for config key `{key}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Full configuration of a PIM-enabled manycore system.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -95,6 +141,168 @@ impl SystemConfig {
     pub fn node_capacity(&self) -> u64 {
         self.pim.weights_per_node()
     }
+
+    /// Rejects degenerate values that would otherwise panic downstream:
+    /// zero grid dimensions (empty platform), `sim_sampling == 0`
+    /// (division by zero scaling traffic), `snapshot_every == 0` (modulo
+    /// by zero in the churn schedule), plus zero `batch`,
+    /// `activation_bytes` and `pim.crossbars_per_node` (no traffic / no
+    /// capacity).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ZeroField`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let positives: [(&'static str, u64); 7] = [
+            ("width", u64::from(self.width)),
+            ("height", u64::from(self.height)),
+            ("tiers", u64::from(self.tiers)),
+            ("sim_sampling", self.sim_sampling),
+            ("snapshot_every", u64::from(self.snapshot_every)),
+            ("batch", u64::from(self.batch)),
+            ("activation_bytes", self.activation_bytes),
+        ];
+        for (field, v) in positives {
+            if v == 0 {
+                return Err(ConfigError::ZeroField(field));
+            }
+        }
+        if self.pim.crossbars_per_node == 0 {
+            return Err(ConfigError::ZeroField("pim.crossbars_per_node"));
+        }
+        Ok(())
+    }
+
+    /// Starts a validating [`SystemConfigBuilder`] from this config.
+    pub fn builder(self) -> SystemConfigBuilder {
+        SystemConfigBuilder { cfg: self }
+    }
+}
+
+/// Validating builder over a [`SystemConfig`] base: typed setters plus
+/// the stringly `--set key=value` surface the `pim-bench` CLI exposes.
+/// [`SystemConfigBuilder::build`] runs [`SystemConfig::validate`], so a
+/// degenerate config is a typed [`ConfigError`] instead of a downstream
+/// panic.
+///
+/// # Examples
+///
+/// ```
+/// use pim_core::{ConfigError, SystemConfig};
+///
+/// let cfg = SystemConfig::datacenter_25d()
+///     .builder()
+///     .set("batch", "4")?
+///     .set("sim_sampling", "32")?
+///     .build()?;
+/// assert_eq!(cfg.batch, 4);
+///
+/// let err = SystemConfig::datacenter_25d()
+///     .builder()
+///     .set("width", "0")?
+///     .build()
+///     .unwrap_err();
+/// assert_eq!(err, ConfigError::ZeroField("width"));
+/// # Ok::<(), ConfigError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct SystemConfigBuilder {
+    cfg: SystemConfig,
+}
+
+impl SystemConfigBuilder {
+    /// Every key [`SystemConfigBuilder::set`] accepts.
+    pub const KEYS: [&'static str; 10] = [
+        "width",
+        "height",
+        "tiers",
+        "activation_bytes",
+        "sim_sampling",
+        "batch",
+        "snapshot_every",
+        "dynamic_power_budget_w",
+        "pim.crossbars_per_node",
+        "thermal.g_vertical",
+    ];
+
+    /// Applies one `key=value` override (the CLI `--set` surface).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::UnknownKey`] for a key outside
+    /// [`SystemConfigBuilder::KEYS`], [`ConfigError::InvalidValue`] when
+    /// the value fails to parse for the key's type.
+    pub fn set(mut self, key: &str, value: &str) -> Result<Self, ConfigError> {
+        fn parse<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, ConfigError> {
+            value.parse().map_err(|_| ConfigError::InvalidValue {
+                key: key.to_string(),
+                value: value.to_string(),
+            })
+        }
+        match key {
+            "width" => self.cfg.width = parse(key, value)?,
+            "height" => self.cfg.height = parse(key, value)?,
+            "tiers" => self.cfg.tiers = parse(key, value)?,
+            "activation_bytes" => self.cfg.activation_bytes = parse(key, value)?,
+            "sim_sampling" => self.cfg.sim_sampling = parse(key, value)?,
+            "batch" => self.cfg.batch = parse(key, value)?,
+            "snapshot_every" => self.cfg.snapshot_every = parse(key, value)?,
+            "dynamic_power_budget_w" => self.cfg.dynamic_power_budget_w = parse(key, value)?,
+            "pim.crossbars_per_node" => self.cfg.pim.crossbars_per_node = parse(key, value)?,
+            "thermal.g_vertical" => self.cfg.thermal.g_vertical = parse(key, value)?,
+            _ => return Err(ConfigError::UnknownKey(key.to_string())),
+        }
+        Ok(self)
+    }
+
+    /// Applies a sequence of `(key, value)` overrides.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ConfigError`] from
+    /// [`SystemConfigBuilder::set`].
+    pub fn apply<'a, I>(mut self, overrides: I) -> Result<Self, ConfigError>
+    where
+        I: IntoIterator<Item = (&'a str, &'a str)>,
+    {
+        for (k, v) in overrides {
+            self = self.set(k, v)?;
+        }
+        Ok(self)
+    }
+
+    /// Typed setter for the grid dimensions.
+    #[must_use]
+    pub fn grid(mut self, width: u16, height: u16, tiers: u16) -> Self {
+        self.cfg.width = width;
+        self.cfg.height = height;
+        self.cfg.tiers = tiers;
+        self
+    }
+
+    /// Typed setter for the concurrent inference stream count.
+    #[must_use]
+    pub fn batch(mut self, batch: u32) -> Self {
+        self.cfg.batch = batch;
+        self
+    }
+
+    /// Typed setter for the DES traffic sampling divisor.
+    #[must_use]
+    pub fn sim_sampling(mut self, sampling: u64) -> Self {
+        self.cfg.sim_sampling = sampling;
+        self
+    }
+
+    /// Validates and returns the final config.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SystemConfig::validate`]'s [`ConfigError`].
+    pub fn build(self) -> Result<SystemConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
 }
 
 #[cfg(test)]
@@ -115,5 +323,88 @@ mod tests {
         assert_eq!(cfg.node_count(), 100);
         assert_eq!(cfg.tiers, 4);
         assert_eq!(cfg.node_capacity(), 128 * 32 * 128);
+    }
+
+    #[test]
+    fn paper_configs_validate() {
+        SystemConfig::datacenter_25d().validate().unwrap();
+        SystemConfig::stacked_3d().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_each_degenerate_field() {
+        // Every zeroable field is rejected with a typed error naming it,
+        // instead of a div/mod-by-zero panic downstream.
+        type Poke = fn(&mut SystemConfig);
+        let cases: [(&str, Poke); 8] = [
+            ("width", |c| c.width = 0),
+            ("height", |c| c.height = 0),
+            ("tiers", |c| c.tiers = 0),
+            ("sim_sampling", |c| c.sim_sampling = 0),
+            ("snapshot_every", |c| c.snapshot_every = 0),
+            ("batch", |c| c.batch = 0),
+            ("activation_bytes", |c| c.activation_bytes = 0),
+            ("pim.crossbars_per_node", |c| c.pim.crossbars_per_node = 0),
+        ];
+        for (field, poke) in cases {
+            let mut cfg = SystemConfig::datacenter_25d();
+            poke(&mut cfg);
+            assert_eq!(cfg.validate(), Err(ConfigError::ZeroField(field)));
+        }
+    }
+
+    #[test]
+    fn builder_sets_every_documented_key() {
+        let mut b = SystemConfig::datacenter_25d().builder();
+        for key in SystemConfigBuilder::KEYS {
+            b = b.set(key, "3").unwrap_or_else(|e| panic!("{key}: {e}"));
+        }
+        let cfg = b.build().unwrap();
+        assert_eq!(cfg.width, 3);
+        assert_eq!(cfg.sim_sampling, 3);
+        assert_eq!(cfg.pim.crossbars_per_node, 3);
+        assert!((cfg.thermal.g_vertical - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_rejects_unknown_keys_and_bad_values() {
+        let b = SystemConfig::datacenter_25d().builder();
+        assert_eq!(
+            b.clone().set("wdith", "3").unwrap_err(),
+            ConfigError::UnknownKey("wdith".to_string())
+        );
+        assert_eq!(
+            b.set("batch", "many").unwrap_err(),
+            ConfigError::InvalidValue {
+                key: "batch".to_string(),
+                value: "many".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn builder_build_runs_validate() {
+        let err = SystemConfig::datacenter_25d()
+            .builder()
+            .set("snapshot_every", "0")
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroField("snapshot_every"));
+    }
+
+    #[test]
+    fn config_errors_display_their_context() {
+        assert!(ConfigError::ZeroField("width")
+            .to_string()
+            .contains("width"));
+        assert!(ConfigError::UnknownKey("xyz".into())
+            .to_string()
+            .contains("xyz"));
+        let e = ConfigError::InvalidValue {
+            key: "batch".into(),
+            value: "many".into(),
+        };
+        assert!(e.to_string().contains("batch") && e.to_string().contains("many"));
     }
 }

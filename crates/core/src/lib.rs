@@ -13,7 +13,12 @@
 //!   placement optimization (Figs. 6-7).
 //!
 //! The [`experiments`] module regenerates every table and figure of the
-//! paper; the `pim-bench` crate prints them. The figure grids run on the
+//! paper and registers each one in the central [`ExperimentRegistry`]
+//! ([`experiments::registry`]); a declarative [`Scenario`] spec
+//! ([`scenario`]) selects an experiment plus its axes (architectures ×
+//! workloads × dataflows × config overrides × threads × seed) and every
+//! run returns a uniform [`ExperimentOutput`] that the `pim-bench` CLI
+//! renders as a table, JSON or CSV. The figure grids run on the
 //! [`SweepRunner`] experiment engine ([`sweep`]), which builds each
 //! platform once and fans independent cells across scoped threads with a
 //! bit-deterministic, order-stable merge.
@@ -42,10 +47,15 @@ pub mod experiments;
 pub mod hetero;
 mod platform25;
 mod platform3d;
+pub mod scenario;
 pub mod sweep;
 
 pub use arch::NoiArch;
-pub use config::SystemConfig;
+pub use config::{ConfigError, SystemConfig, SystemConfigBuilder};
 pub use platform25::{Platform25D, WorkloadReport};
 pub use platform3d::{ParetoPoint, PlacementEval, Platform3D};
+pub use scenario::{
+    CellValue, Column, ColumnType, ExperimentOutput, ExperimentRegistry, ExperimentSpec,
+    ResolvedScenario, RunContext, Scenario, ScenarioError, Table,
+};
 pub use sweep::{default_threads, parallel_map, SweepRunner};

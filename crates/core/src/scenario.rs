@@ -1,0 +1,729 @@
+//! The declarative Scenario API: experiment specs as *data*, resolved
+//! against a central [`ExperimentRegistry`], producing a uniform
+//! [`ExperimentOutput`].
+//!
+//! Historically every paper artifact was a hand-rolled binary owning its
+//! own config construction, sweep loop and `println!` format — adding a
+//! scenario axis meant touching twenty `main` functions. This module
+//! inverts that: a [`Scenario`] names an experiment plus the axes to
+//! sweep (architecture set × workload set × dataflow set ×
+//! [`SystemConfig`] overrides × thread count × seed), the registry maps
+//! the experiment name to a run function, and every run function returns
+//! the same structured shape — a typed column schema with rows and
+//! notes — that the `pim-bench` CLI renders as a table, JSON or CSV.
+//!
+//! ```text
+//!  Scenario ──resolve()──▶ ResolvedScenario ──RunContext──▶ run fn
+//!  (data: name, axes,      (validated configs,  (lazy shared   │
+//!   overrides, threads)     concrete axis sets)   SweepRunner)  ▼
+//!                                                       ExperimentOutput
+//!                                                  (tables + notes, format-free)
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use pim_core::{experiments, Scenario};
+//!
+//! let registry = experiments::registry();
+//! assert!(registry.get("table1").is_some());
+//!
+//! let out = registry.run_scenario(&Scenario::new("table1"))?;
+//! assert_eq!(out.experiment, "table1");
+//! assert_eq!(out.tables[0].rows.len(), 13);
+//! for table in &out.tables {
+//!     table.validate().expect("typed rows match the column schema");
+//! }
+//! # Ok::<(), pim_core::ScenarioError>(())
+//! ```
+
+use std::cell::OnceCell;
+use std::fmt;
+
+use dnn::{Dataflow, Workload};
+use serde::{Deserialize, Serialize};
+use topology::TopologyError;
+
+use crate::arch::NoiArch;
+use crate::config::{ConfigError, SystemConfig};
+use crate::sweep::{default_threads, SweepRunner};
+
+/// A declarative experiment specification: *which* artifact to
+/// regenerate and along *which* axes, with no imperative wiring.
+///
+/// Empty axis vectors mean "the paper default set" (all four
+/// architectures, all five Table II mixes, all four dataflow modes).
+/// `overrides` are `(key, value)` pairs applied through the validating
+/// [`SystemConfig::builder`] to **both** base configs (2.5D and 3D), so
+/// a degenerate spec fails fast with a typed [`ConfigError`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Registry name of the experiment (`"table1"`, `"fig3"`, ... or
+    /// `"all"` at the CLI layer).
+    pub experiment: String,
+    /// Architecture subset; empty = [`NoiArch::all`].
+    pub archs: Vec<NoiArch>,
+    /// Table II workload-mix subset by name; empty = all five mixes.
+    pub workloads: Vec<String>,
+    /// Dataflow subset; empty = [`Dataflow::all`].
+    pub dataflows: Vec<Dataflow>,
+    /// `(key, value)` [`SystemConfig`] overrides (the `--set` surface).
+    pub overrides: Vec<(String, String)>,
+    /// Worker-thread count; `None` = one per hardware thread. Results
+    /// are bit-identical for any value (the engine's determinism
+    /// contract) — this only changes wall-clock time.
+    pub threads: Option<usize>,
+    /// Override for the stochastic components' seeds (synthetic traffic,
+    /// Poisson arrivals, annealing, NSGA-II); `None` = the paper-pinned
+    /// defaults.
+    pub seed: Option<u64>,
+}
+
+impl Scenario {
+    /// The default scenario for one experiment: paper axis sets, paper
+    /// configs, paper seeds.
+    pub fn new(experiment: impl Into<String>) -> Self {
+        Scenario {
+            experiment: experiment.into(),
+            archs: Vec::new(),
+            workloads: Vec::new(),
+            dataflows: Vec::new(),
+            overrides: Vec::new(),
+            threads: None,
+            seed: None,
+        }
+    }
+
+    /// Validates the spec and materializes every axis: defaults filled
+    /// in, workload names checked against Table II, overrides applied
+    /// through the validating builder to both base configs.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::UnknownWorkload`] for a name outside Table II,
+    /// [`ScenarioError::Config`] when an override is unknown, fails to
+    /// parse, or produces a degenerate config.
+    pub fn resolve(&self) -> Result<ResolvedScenario, ScenarioError> {
+        let archs = if self.archs.is_empty() {
+            NoiArch::all()
+        } else {
+            self.archs.clone()
+        };
+        let workloads = if self.workloads.is_empty() {
+            dnn::table2().into_iter().map(|wl| wl.name).collect()
+        } else {
+            for name in &self.workloads {
+                if dnn::table2_workload(name).is_none() {
+                    return Err(ScenarioError::UnknownWorkload(name.clone()));
+                }
+            }
+            self.workloads.clone()
+        };
+        let dataflows = if self.dataflows.is_empty() {
+            Dataflow::all().to_vec()
+        } else {
+            self.dataflows.clone()
+        };
+        let apply = |base: SystemConfig| -> Result<SystemConfig, ConfigError> {
+            base.builder()
+                .apply(self.overrides.iter().map(|(k, v)| (k.as_str(), v.as_str())))?
+                .build()
+        };
+        Ok(ResolvedScenario {
+            experiment: self.experiment.clone(),
+            archs,
+            workloads,
+            dataflows,
+            cfg25: apply(SystemConfig::datacenter_25d())?,
+            cfg3d: apply(SystemConfig::stacked_3d())?,
+            threads: self.threads.unwrap_or_else(default_threads).max(1),
+            seed: self.seed,
+        })
+    }
+}
+
+/// A fully materialized [`Scenario`]: every axis concrete, both configs
+/// validated. This is what run functions and [`SweepRunner::from_scenario`]
+/// consume.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ResolvedScenario {
+    /// Registry name of the experiment.
+    pub experiment: String,
+    /// Concrete architecture set (never empty).
+    pub archs: Vec<NoiArch>,
+    /// Concrete Table II mix names (never empty, all valid).
+    pub workloads: Vec<String>,
+    /// Concrete dataflow set (never empty).
+    pub dataflows: Vec<Dataflow>,
+    /// Validated 2.5D datacenter config with overrides applied.
+    pub cfg25: SystemConfig,
+    /// Validated 3D stacked config with overrides applied.
+    pub cfg3d: SystemConfig,
+    /// Effective worker-thread count (≥ 1).
+    pub threads: usize,
+    /// Seed override for stochastic components; `None` = paper defaults.
+    pub seed: Option<u64>,
+}
+
+impl ResolvedScenario {
+    /// The resolved Table II workloads, in scenario order.
+    pub fn workload_set(&self) -> Vec<Workload> {
+        self.workloads
+            .iter()
+            .map(|n| dnn::table2_workload(n).expect("resolve() validated the names"))
+            .collect()
+    }
+
+    /// The scenario's seed, or `default` (the paper-pinned value) when
+    /// no override was given.
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+}
+
+/// Why a scenario could not be resolved or run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScenarioError {
+    /// The experiment name is not in the registry.
+    UnknownExperiment(String),
+    /// A workload name is not a Table II mix.
+    UnknownWorkload(String),
+    /// A config override was rejected.
+    Config(ConfigError),
+    /// The overridden config produced an unbuildable topology.
+    Topology(TopologyError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::UnknownExperiment(name) => {
+                write!(f, "unknown experiment `{name}` (see `pim-bench list`)")
+            }
+            ScenarioError::UnknownWorkload(name) => {
+                write!(f, "unknown workload `{name}` (Table II: WL1..WL5)")
+            }
+            ScenarioError::Config(e) => write!(f, "invalid config: {e}"),
+            ScenarioError::Topology(e) => write!(f, "topology build failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<ConfigError> for ScenarioError {
+    fn from(e: ConfigError) -> Self {
+        ScenarioError::Config(e)
+    }
+}
+
+impl From<TopologyError> for ScenarioError {
+    fn from(e: TopologyError) -> Self {
+        ScenarioError::Topology(e)
+    }
+}
+
+/// One cell of an experiment table.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum CellValue {
+    /// A label (workload, architecture, model, ...).
+    Str(String),
+    /// An unsigned count.
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A measurement (also used by ratio columns).
+    Float(f64),
+}
+
+impl From<&str> for CellValue {
+    fn from(v: &str) -> Self {
+        CellValue::Str(v.to_string())
+    }
+}
+impl From<String> for CellValue {
+    fn from(v: String) -> Self {
+        CellValue::Str(v)
+    }
+}
+impl From<u64> for CellValue {
+    fn from(v: u64) -> Self {
+        CellValue::UInt(v)
+    }
+}
+impl From<usize> for CellValue {
+    fn from(v: usize) -> Self {
+        CellValue::UInt(v as u64)
+    }
+}
+impl From<u32> for CellValue {
+    fn from(v: u32) -> Self {
+        CellValue::UInt(u64::from(v))
+    }
+}
+impl From<i64> for CellValue {
+    fn from(v: i64) -> Self {
+        CellValue::Int(v)
+    }
+}
+impl From<f64> for CellValue {
+    fn from(v: f64) -> Self {
+        CellValue::Float(v)
+    }
+}
+
+impl CellValue {
+    /// True when the cell's variant matches the column type.
+    pub fn matches(&self, ty: &ColumnType) -> bool {
+        matches!(
+            (self, ty),
+            (CellValue::Str(_), ColumnType::Str)
+                | (CellValue::UInt(_), ColumnType::UInt)
+                | (CellValue::Int(_), ColumnType::Int)
+                | (CellValue::Float(_), ColumnType::Float { .. })
+                | (CellValue::Float(_), ColumnType::Ratio)
+        )
+    }
+}
+
+/// The type (and table-rendering hint) of one experiment column.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// Label column, left-aligned.
+    Str,
+    /// Unsigned count, right-aligned.
+    UInt,
+    /// Signed integer, right-aligned.
+    Int,
+    /// Floating-point measurement.
+    Float {
+        /// Digits after the decimal point in table rendering.
+        precision: u8,
+        /// Render as `{:e}` scientific notation.
+        scientific: bool,
+    },
+    /// A ratio rendered `x.xx×`-style (`"1.32x"`) in tables, raw `f64`
+    /// in JSON/CSV.
+    Ratio,
+}
+
+/// One column of an experiment table: name plus [`ColumnType`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Column {
+    /// Header label.
+    pub name: String,
+    /// Cell type and rendering hint.
+    pub ty: ColumnType,
+}
+
+impl Column {
+    /// A label column.
+    pub fn str(name: &str) -> Column {
+        Column {
+            name: name.to_string(),
+            ty: ColumnType::Str,
+        }
+    }
+
+    /// An unsigned-count column.
+    pub fn uint(name: &str) -> Column {
+        Column {
+            name: name.to_string(),
+            ty: ColumnType::UInt,
+        }
+    }
+
+    /// A signed-integer column.
+    pub fn int(name: &str) -> Column {
+        Column {
+            name: name.to_string(),
+            ty: ColumnType::Int,
+        }
+    }
+
+    /// A fixed-precision float column.
+    pub fn float(name: &str, precision: u8) -> Column {
+        Column {
+            name: name.to_string(),
+            ty: ColumnType::Float {
+                precision,
+                scientific: false,
+            },
+        }
+    }
+
+    /// A scientific-notation float column.
+    pub fn sci(name: &str, precision: u8) -> Column {
+        Column {
+            name: name.to_string(),
+            ty: ColumnType::Float {
+                precision,
+                scientific: true,
+            },
+        }
+    }
+
+    /// A ratio column (`"1.32x"` in tables).
+    pub fn ratio(name: &str) -> Column {
+        Column {
+            name: name.to_string(),
+            ty: ColumnType::Ratio,
+        }
+    }
+}
+
+/// One titled table of an [`ExperimentOutput`]: a typed column schema
+/// plus rows of [`CellValue`]s.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Section title (what the old binaries printed as `=== ... ===`).
+    pub title: String,
+    /// Typed column schema.
+    pub columns: Vec<Column>,
+    /// Data rows; every row has one cell per column, variant matching
+    /// the column type ([`Table::validate`]).
+    pub rows: Vec<Vec<CellValue>>,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn new(title: &str, columns: Vec<Column>) -> Table {
+        Table {
+            title: title.to_string(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell count does not match the column count (a
+    /// programming error in a run function, caught in tests).
+    pub fn push(&mut self, cells: Vec<CellValue>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row arity mismatch in table `{}`",
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// Checks every row against the column schema (arity and variant).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first mismatch.
+    pub fn validate(&self) -> Result<(), String> {
+        for (ri, row) in self.rows.iter().enumerate() {
+            if row.len() != self.columns.len() {
+                return Err(format!(
+                    "table `{}` row {ri}: {} cells for {} columns",
+                    self.title,
+                    row.len(),
+                    self.columns.len()
+                ));
+            }
+            for (cell, col) in row.iter().zip(&self.columns) {
+                if !cell.matches(&col.ty) {
+                    return Err(format!(
+                        "table `{}` row {ri} column `{}`: {cell:?} does not match {:?}",
+                        self.title, col.name, col.ty
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The uniform result of running one experiment: tables plus free-form
+/// notes (the commentary the old binaries printed after their tables).
+/// Rendering to table/JSON/CSV lives in `pim_bench::output`; this type
+/// is format-free.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentOutput {
+    /// Registry name of the experiment that produced this.
+    pub experiment: String,
+    /// The experiment's registry description.
+    pub description: String,
+    /// Result tables, in presentation order.
+    pub tables: Vec<Table>,
+    /// Commentary and context lines.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentOutput {
+    /// An empty output shell for `experiment`.
+    pub fn new(experiment: &str, description: &str) -> Self {
+        ExperimentOutput {
+            experiment: experiment.to_string(),
+            description: description.to_string(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Validates every table against its schema.
+    ///
+    /// # Errors
+    ///
+    /// The first schema mismatch, as text.
+    pub fn validate(&self) -> Result<(), String> {
+        self.tables.iter().try_for_each(Table::validate)
+    }
+}
+
+/// The signature every registered experiment implements.
+pub type RunFn = fn(&RunContext) -> Result<ExperimentOutput, ScenarioError>;
+
+/// One registered experiment: name, description, run function.
+#[derive(Clone)]
+pub struct ExperimentSpec {
+    /// Registry key (also the legacy binary name).
+    pub name: &'static str,
+    /// One-line description shown by `pim-bench list`/`describe`.
+    pub description: &'static str,
+    /// The run function.
+    pub run: RunFn,
+}
+
+impl fmt::Debug for ExperimentSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExperimentSpec")
+            .field("name", &self.name)
+            .field("description", &self.description)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The central experiment registry: every paper artifact registered
+/// once, by name. The standard instance ([`crate::experiments::registry`])
+/// covers every table, figure and ablation; the type is public so tests
+/// and downstream tools can assemble their own.
+#[derive(Debug, Default)]
+pub struct ExperimentRegistry {
+    specs: Vec<ExperimentSpec>,
+}
+
+impl ExperimentRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers one experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name — every artifact is registered once.
+    pub fn register(&mut self, spec: ExperimentSpec) {
+        assert!(
+            self.get(spec.name).is_none(),
+            "experiment `{}` registered twice",
+            spec.name
+        );
+        self.specs.push(spec);
+    }
+
+    /// All specs, in registration (presentation) order.
+    pub fn specs(&self) -> &[ExperimentSpec] {
+        &self.specs
+    }
+
+    /// All experiment names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.specs.iter().map(|s| s.name).collect()
+    }
+
+    /// Looks up one experiment by name.
+    pub fn get(&self, name: &str) -> Option<&ExperimentSpec> {
+        self.specs.iter().find(|s| s.name == name)
+    }
+
+    /// Runs one registered experiment against an existing context (so
+    /// `run all` shares one lazily-built [`SweepRunner`] across every
+    /// 2.5D experiment).
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::UnknownExperiment`] for an unregistered name;
+    /// otherwise whatever the run function reports.
+    pub fn run(&self, ctx: &RunContext, name: &str) -> Result<ExperimentOutput, ScenarioError> {
+        let spec = self
+            .get(name)
+            .ok_or_else(|| ScenarioError::UnknownExperiment(name.to_string()))?;
+        let mut out = (spec.run)(ctx)?;
+        out.experiment = spec.name.to_string();
+        out.description = spec.description.to_string();
+        Ok(out)
+    }
+
+    /// Resolves `scenario` and runs its experiment.
+    ///
+    /// # Errors
+    ///
+    /// Resolution errors ([`Scenario::resolve`]) or run errors
+    /// ([`ExperimentRegistry::run`]).
+    pub fn run_scenario(&self, scenario: &Scenario) -> Result<ExperimentOutput, ScenarioError> {
+        let ctx = RunContext::new(scenario.resolve()?);
+        self.run(&ctx, &scenario.experiment)
+    }
+}
+
+/// Everything a run function needs: the resolved scenario plus a shared,
+/// lazily-constructed [`SweepRunner`] so consecutive 2.5D experiments
+/// (`pim-bench run all`) build the four platforms exactly once.
+#[derive(Debug)]
+pub struct RunContext {
+    scenario: ResolvedScenario,
+    runner: OnceCell<SweepRunner>,
+}
+
+impl RunContext {
+    /// Wraps a resolved scenario; the engine is built on first use.
+    pub fn new(scenario: ResolvedScenario) -> Self {
+        RunContext {
+            scenario,
+            runner: OnceCell::new(),
+        }
+    }
+
+    /// The resolved scenario.
+    pub fn scenario(&self) -> &ResolvedScenario {
+        &self.scenario
+    }
+
+    /// The shared 2.5D engine for this scenario, built once on first
+    /// call ([`SweepRunner::from_scenario`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Topology`] when the (possibly overridden) config
+    /// cannot build the scenario's architectures.
+    pub fn runner(&self) -> Result<&SweepRunner, ScenarioError> {
+        if self.runner.get().is_none() {
+            let built = SweepRunner::from_scenario(&self.scenario)?;
+            // A concurrent set is impossible (&self, single thread);
+            // ignore the Err(built) case the API forces us to cover.
+            let _ = self.runner.set(built);
+        }
+        Ok(self.runner.get().expect("just initialized"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scenario_resolves_to_paper_axes() {
+        let s = Scenario::new("fig3").resolve().unwrap();
+        assert_eq!(s.archs, NoiArch::all());
+        assert_eq!(s.workloads, vec!["WL1", "WL2", "WL3", "WL4", "WL5"]);
+        assert_eq!(s.dataflows, Dataflow::all());
+        assert_eq!(s.cfg25, SystemConfig::datacenter_25d());
+        assert_eq!(s.cfg3d, SystemConfig::stacked_3d());
+        assert!(s.threads >= 1);
+        assert_eq!(s.seed, None);
+        assert_eq!(s.seed_or(0xFACE), 0xFACE);
+    }
+
+    #[test]
+    fn overrides_flow_through_the_validating_builder() {
+        let mut s = Scenario::new("fig3");
+        s.overrides.push(("batch".into(), "4".into()));
+        s.overrides.push(("sim_sampling".into(), "32".into()));
+        let r = s.resolve().unwrap();
+        assert_eq!(r.cfg25.batch, 4);
+        assert_eq!(r.cfg3d.batch, 4);
+        assert_eq!(r.cfg25.sim_sampling, 32);
+
+        s.overrides.push(("snapshot_every".into(), "0".into()));
+        assert_eq!(
+            s.resolve().unwrap_err(),
+            ScenarioError::Config(ConfigError::ZeroField("snapshot_every"))
+        );
+    }
+
+    #[test]
+    fn unknown_workloads_are_rejected() {
+        let mut s = Scenario::new("fig3");
+        s.workloads = vec!["WL1".into(), "WL9".into()];
+        assert_eq!(
+            s.resolve().unwrap_err(),
+            ScenarioError::UnknownWorkload("WL9".to_string())
+        );
+    }
+
+    #[test]
+    fn table_schema_validation_catches_mismatches() {
+        let mut t = Table::new("t", vec![Column::str("a"), Column::float("b", 2)]);
+        t.push(vec!["x".into(), 1.5.into()]);
+        assert!(t.validate().is_ok());
+        t.rows.push(vec!["y".into(), CellValue::UInt(3)]);
+        let err = t.validate().unwrap_err();
+        assert!(err.contains("column `b`"), "{err}");
+        t.rows.pop();
+        t.rows.push(vec!["z".into()]);
+        assert!(t.validate().unwrap_err().contains("1 cells"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_push_asserts_arity() {
+        let mut t = Table::new("t", vec![Column::str("a")]);
+        t.push(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn registry_rejects_unknown_and_runs_registered() {
+        let mut reg = ExperimentRegistry::new();
+        fn ok(_ctx: &RunContext) -> Result<ExperimentOutput, ScenarioError> {
+            Ok(ExperimentOutput::new("", ""))
+        }
+        reg.register(ExperimentSpec {
+            name: "demo",
+            description: "a demo",
+            run: ok,
+        });
+        let ctx = RunContext::new(Scenario::new("demo").resolve().unwrap());
+        let out = reg.run(&ctx, "demo").unwrap();
+        assert_eq!(out.experiment, "demo");
+        assert_eq!(out.description, "a demo");
+        assert_eq!(
+            reg.run(&ctx, "nope").unwrap_err(),
+            ScenarioError::UnknownExperiment("nope".to_string())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn registry_rejects_duplicate_names() {
+        let mut reg = ExperimentRegistry::new();
+        fn ok(_ctx: &RunContext) -> Result<ExperimentOutput, ScenarioError> {
+            Ok(ExperimentOutput::new("", ""))
+        }
+        let spec = ExperimentSpec {
+            name: "demo",
+            description: "",
+            run: ok,
+        };
+        reg.register(spec.clone());
+        reg.register(spec);
+    }
+
+    #[test]
+    fn scenario_serializes_to_json() {
+        let mut s = Scenario::new("dataflows");
+        s.archs = vec![NoiArch::Floret { lambda: 6 }];
+        s.overrides.push(("batch".into(), "2".into()));
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"experiment\":\"dataflows\""), "{json}");
+        assert!(json.contains("Floret"), "{json}");
+        // The spec is valid JSON end to end.
+        serde_json::from_str(&json).unwrap();
+    }
+}

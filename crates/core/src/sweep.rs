@@ -102,9 +102,18 @@ impl SweepRunner {
     ///
     /// Propagates [`TopologyError`] from the topology generators.
     pub fn new(cfg: &SystemConfig) -> Result<Self, TopologyError> {
+        Self::for_archs(cfg, &NoiArch::all())
+    }
+
+    /// Builds the platforms for an explicit architecture subset (in the
+    /// given order) — the engine behind scenario `--arch` filters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyError`] from the topology generators.
+    pub fn for_archs(cfg: &SystemConfig, archs: &[NoiArch]) -> Result<Self, TopologyError> {
         let threads = default_threads();
-        let archs = NoiArch::all();
-        let built = parallel_map(&archs, threads, |arch| Platform25D::new(arch.clone(), cfg));
+        let built = parallel_map(archs, threads, |arch| Platform25D::new(arch.clone(), cfg));
         let mut platforms = Vec::with_capacity(built.len());
         for p in built {
             platforms.push(p?);
@@ -114,6 +123,17 @@ impl SweepRunner {
             threads,
             platforms,
         })
+    }
+
+    /// Builds the engine a resolved [`crate::scenario::Scenario`] asks
+    /// for: its (possibly overridden) 2.5D config, its architecture
+    /// subset, its worker-thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyError`] from the topology generators.
+    pub fn from_scenario(s: &crate::scenario::ResolvedScenario) -> Result<Self, TopologyError> {
+        Ok(Self::for_archs(&s.cfg25, &s.archs)?.with_threads(s.threads))
     }
 
     /// Overrides the worker count (clamped to at least one). Output is

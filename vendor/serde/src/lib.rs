@@ -205,6 +205,13 @@ impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V
 }
 impl<K: Deserialize, V: Deserialize, S> Deserialize for std::collections::HashMap<K, V, S> {}
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {}
+
 impl Serialize for std::time::Duration {
     fn to_value(&self) -> Value {
         Value::Map(vec![

@@ -1,19 +1,23 @@
 //! Offline subset of `serde_json`: renders the vendored `serde`
-//! [`Value`] tree as JSON text. Only serialization is
-//! provided (the workspace never deserializes).
+//! [`Value`] tree as JSON text, and parses JSON text back into a
+//! [`Value`] tree ([`from_str`]) so machine-readable experiment dumps
+//! can be validated round-trip ([`round_trip`]).
 
 use serde::{Serialize, Value};
 use std::fmt;
 
-/// Serialization error. The offline renderer is total, so this is never
-/// constructed; it exists to keep the `Result` signatures of the real
-/// crate.
+/// Serialization or parse error. The offline renderer is total, so only
+/// the parser ever constructs one (with a position-annotated message).
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("json serialization error")
+        if self.0.is_empty() {
+            f.write_str("json serialization error")
+        } else {
+            f.write_str(&self.0)
+        }
     }
 }
 
@@ -104,6 +108,271 @@ fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
     }
 }
 
+/// Parses JSON text into a [`Value`] tree.
+///
+/// Numbers without a fraction/exponent that fit an integer parse as
+/// [`Value::U64`]/[`Value::I64`]; everything else becomes [`Value::F64`].
+///
+/// # Errors
+///
+/// Returns a position-annotated [`Error`] on malformed input or
+/// trailing garbage.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON document"));
+    }
+    Ok(v)
+}
+
+/// Round-trip test helper: parses `s` and re-renders it compactly,
+/// proving the text is well-formed JSON the subset can represent. CI
+/// uses this to validate `pim-bench run ... --format json` output.
+///
+/// # Errors
+///
+/// Propagates the parse [`Error`] for malformed input.
+pub fn round_trip(s: &str) -> Result<String, Error> {
+    from_str(s).and_then(|v| to_string(&v))
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.bytes.get(self.pos) {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.seq(),
+            Some(b'{') => self.map(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn seq(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn map(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            entries.push((key, self.value()?));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a low surrogate must follow.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if (0xDC00..0xE000).contains(&lo) {
+                                        char::from_u32(
+                                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00),
+                                        )
+                                    } else {
+                                        None
+                                    }
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid \\u escape"))?);
+                            // hex4 advanced past the digits; undo the
+                            // +1 below.
+                            self.pos -= 1;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while !matches!(self.bytes.get(self.pos), None | Some(b'"' | b'\\')) {
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let digits = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|d| std::str::from_utf8(d).ok())
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let code = u32::from_str_radix(digits, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    /// Lexes the RFC 8259 number grammar strictly:
+    /// `-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?` — leading
+    /// zeros, trailing dots and bare exponents are rejected rather than
+    /// deferred to Rust's laxer `f64` parser.
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        match self.bytes.get(self.pos) {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        let mut integral = true;
+        if self.bytes.get(self.pos) == Some(&b'.') {
+            integral = false;
+            self.pos += 1;
+            self.digits()?;
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.bytes.get(self.pos), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits()?;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if integral {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error(format!("invalid number '{text}' at byte {start}")))
+    }
+
+    /// Consumes one-or-more decimal digits.
+    fn digits(&mut self) -> Result<(), Error> {
+        if !matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            return Err(self.err("expected a digit"));
+        }
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        Ok(())
+    }
+}
+
 fn escape_into(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
@@ -148,5 +417,75 @@ mod tests {
     fn non_finite_floats_render_null() {
         assert_eq!(to_string(&f64::NAN).unwrap(), "null");
         assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str(" 42 ").unwrap(), Value::U64(42));
+        assert_eq!(from_str("-7").unwrap(), Value::I64(-7));
+        assert_eq!(from_str("1.5e3").unwrap(), Value::F64(1500.0));
+        assert_eq!(from_str("\"a\\nb\"").unwrap(), Value::Str("a\nb".into()));
+        assert_eq!(from_str("\"\\u00e9\"").unwrap(), Value::Str("é".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = from_str(r#"{"rows": [[1, 2.0], []], "name": "t"}"#).unwrap();
+        assert_eq!(
+            v,
+            Value::Map(vec![
+                (
+                    "rows".into(),
+                    Value::Seq(vec![
+                        Value::Seq(vec![Value::U64(1), Value::F64(2.0)]),
+                        Value::Seq(vec![]),
+                    ])
+                ),
+                ("name".into(), Value::Str("t".into())),
+            ])
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"open"] {
+            assert!(from_str(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn number_grammar_is_rfc_8259_strict() {
+        assert_eq!(from_str("0").unwrap(), Value::U64(0));
+        assert_eq!(from_str("-0").unwrap(), Value::I64(0));
+        assert_eq!(from_str("10.25e-2").unwrap(), Value::F64(0.1025));
+        for bad in ["01", "1.", ".5", "1e", "1e+", "+1", "-", "1.e3", "[01]"] {
+            assert!(from_str(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_combine_and_malformed_pairs_error() {
+        assert_eq!(
+            from_str("\"\\uD83D\\uDE00\"").unwrap(),
+            Value::Str("\u{1F600}".into())
+        );
+        // High surrogate followed by a non-low-surrogate escape, a bare
+        // high surrogate, and a lone low surrogate are all errors (not
+        // panics, not silently-wrong characters).
+        for bad in ["\"\\uD800\\u0041\"", "\"\\uD800x\"", "\"\\uDC00\""] {
+            assert!(from_str(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn round_trips_rendered_output() {
+        let v = vec![(String::from("k\"x"), vec![1u32, 2])];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(round_trip(&pretty).unwrap(), to_string(&v).unwrap());
+        // Compact render of a parse is a fixed point.
+        let compact = to_string(&v).unwrap();
+        assert_eq!(round_trip(&compact).unwrap(), compact);
     }
 }
