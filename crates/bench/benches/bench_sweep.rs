@@ -9,6 +9,28 @@ use pim_core::{NoiArch, Platform25D, SweepRunner, SystemConfig};
 use std::hint::black_box;
 use std::time::Duration;
 
+/// Cold vs warm [`pim_core::EvalCache`]: the cold case pays mapping +
+/// DES + costing for every cell on each iteration (cache bypassed, the
+/// pre-PR `run all` behaviour between experiments); the warm case
+/// replays memoized reports — the fig5-after-fig3 path. Same outputs,
+/// very different wall clocks.
+fn evalcache(c: &mut Criterion) {
+    let cfg = SystemConfig::datacenter_25d();
+    let wl = dnn::table2_workload("WL1").unwrap();
+    let cold = SweepRunner::new(&cfg).unwrap().with_cache_enabled(false);
+    let warm = SweepRunner::new(&cfg).unwrap().with_cache_enabled(true);
+    warm.run_workloads(std::slice::from_ref(&wl)); // prime every cell
+
+    let mut g = c.benchmark_group("evalcache-wl1-row");
+    g.bench_function("cold-bypass", |b| {
+        b.iter(|| cold.run_workloads(black_box(std::slice::from_ref(&wl))))
+    });
+    g.bench_function("warm-replay", |b| {
+        b.iter(|| warm.run_workloads(black_box(std::slice::from_ref(&wl))))
+    });
+    g.finish();
+}
+
 fn sweep(c: &mut Criterion) {
     let cfg = SystemConfig::datacenter_25d();
     let wl = dnn::table2_workload("WL1").unwrap();
@@ -47,6 +69,6 @@ criterion_group!(
         .measurement_time(Duration::from_secs(10))
         .warm_up_time(Duration::from_secs(1))
         .sample_size(10);
-    targets = sweep
+    targets = sweep, evalcache
 );
 criterion_main!(benches);

@@ -1,11 +1,14 @@
-//! Criterion benches for the 3D thermal solver (the Fig. 6/7 inner loop).
+//! Criterion benches for the 3D thermal solver (the Fig. 6/7 inner
+//! loop): the production red-black SOR path against the seed's
+//! sequential Gauss-Seidel reference, so the solver speedup is a
+//! measured number, not an assertion.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
-use thermal::{solve, PowerMap, ThermalConfig};
+use thermal::{solve, solve_red_black, solve_reference, PowerMap, ThermalConfig};
 
-fn solver(c: &mut Criterion) {
+fn gradient_power() -> PowerMap {
     let mut power = PowerMap::new(5, 5, 4).unwrap();
     for x in 0..5 {
         for y in 0..5 {
@@ -16,6 +19,11 @@ fn solver(c: &mut Criterion) {
             }
         }
     }
+    power
+}
+
+fn solver(c: &mut Criterion) {
+    let power = gradient_power();
     c.bench_function("thermal-solve-5x5x4", |b| {
         b.iter(|| solve(black_box(&power), &ThermalConfig::m3d()))
     });
@@ -30,12 +38,29 @@ fn solver(c: &mut Criterion) {
     });
 }
 
+/// Red-black SOR vs the seed Gauss-Seidel on identical inputs, for both
+/// stack configurations — the `pim-bench perf` solver comparison as a
+/// criterion measurement.
+fn solver_comparison(c: &mut Criterion) {
+    let power = gradient_power();
+    for (stack, cfg) in [("m3d", ThermalConfig::m3d()), ("tsv", ThermalConfig::tsv())] {
+        let mut g = c.benchmark_group(format!("thermal-5x5x4-{stack}"));
+        g.bench_function("red-black-sor", |b| {
+            b.iter(|| solve_red_black(black_box(&power), &cfg, 1))
+        });
+        g.bench_function("seed-gauss-seidel", |b| {
+            b.iter(|| solve_reference(black_box(&power), &cfg))
+        });
+        g.finish();
+    }
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default()
         .measurement_time(Duration::from_secs(3))
         .warm_up_time(Duration::from_secs(1))
         .sample_size(20);
-    targets = solver
+    targets = solver, solver_comparison
 );
 criterion_main!(benches);

@@ -8,6 +8,7 @@
 //!     [--format table|json|csv] [--out <path>]
 //!     [--threads N] [--seed N] [--set key=value]...
 //!     [--arch <name>]... [--workload <WLn>]... [--dataflow <WS|OS|IS|FL>]...
+//! pim-bench perf [--quick] [--out <path>] [--max-seconds N]
 //! ```
 //!
 //! `run` builds one declarative [`Scenario`] from the flags, resolves it
@@ -31,6 +32,12 @@ USAGE:
     pim-bench list                      list every registered experiment
     pim-bench describe <name>           show one experiment and its default scenario
     pim-bench run <name>... | all       run experiments (shared platforms)
+    pim-bench perf                      time every experiment, write BENCH JSON
+
+PERF OPTIONS:
+    --quick                   CI scenario: WL1 only (full Table II otherwise)
+    --out <path>              where to write the JSON (default: BENCH_5.json)
+    --max-seconds <N>         fail (exit 1) if the optimized run-all exceeds N s
 
 RUN OPTIONS:
     --format table|json|csv   output format (default: table)
@@ -47,7 +54,8 @@ EXAMPLES:
     pim-bench run dataflows --workload WL1 --dataflow WS --dataflow FL
     pim-bench run table1 fig3 --format json --out results.json
     pim-bench run all --format json        # supersedes the export_json binary
-    pim-bench run fig5 --set sim_sampling=32 --set batch=4 --threads 1";
+    pim-bench run fig5 --set sim_sampling=32 --set batch=4 --threads 1
+    pim-bench perf --quick --max-seconds 300";
 
 /// A CLI failure, split by exit code.
 #[derive(Debug)]
@@ -58,12 +66,14 @@ pub enum CliError {
     Run(ScenarioError),
     /// `--out` file could not be written (exit 1).
     Io(String),
+    /// `pim-bench perf --max-seconds` ceiling exceeded (exit 1).
+    Perf(String),
 }
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CliError::Usage(m) | CliError::Io(m) => f.write_str(m),
+            CliError::Usage(m) | CliError::Io(m) | CliError::Perf(m) => f.write_str(m),
             CliError::Run(e) => write!(f, "{e}"),
         }
     }
@@ -89,6 +99,15 @@ pub enum Command {
         /// Optional output file.
         out: Option<String>,
     },
+    /// `pim-bench perf [--quick] [--out <path>] [--max-seconds N]`
+    Perf {
+        /// Use the reduced CI scenario (WL1 only).
+        quick: bool,
+        /// Where to write the JSON report.
+        out: String,
+        /// Optional hard ceiling on the optimized run-all wall time.
+        max_seconds: Option<f64>,
+    },
     /// `pim-bench help` / `--help`
     Help,
 }
@@ -111,6 +130,36 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 .get(1)
                 .ok_or_else(|| usage("describe: missing experiment name".into()))?;
             Ok(Command::Describe(name.clone()))
+        }
+        "perf" => {
+            let mut quick = false;
+            let mut out = "BENCH_5.json".to_string();
+            let mut max_seconds = None;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                let mut value_of = |flag: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| usage(format!("{flag}: missing value")))
+                };
+                match arg.as_str() {
+                    "--quick" => quick = true,
+                    "--out" => out = value_of("--out")?,
+                    "--max-seconds" => {
+                        let v = value_of("--max-seconds")?;
+                        max_seconds =
+                            Some(v.parse::<f64>().map_err(|_| {
+                                usage(format!("--max-seconds: invalid number `{v}`"))
+                            })?);
+                    }
+                    flag => return Err(usage(format!("perf: unknown flag `{flag}`"))),
+                }
+            }
+            Ok(Command::Perf {
+                quick,
+                out,
+                max_seconds,
+            })
         }
         "run" => {
             let mut names: Vec<String> = Vec::new();
@@ -227,6 +276,25 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 resolved.threads,
                 serde_json::to_string_pretty(&Scenario::new(spec.name)).expect("serializable"),
             ))
+        }
+        Command::Perf {
+            quick,
+            out,
+            max_seconds,
+        } => {
+            let report = crate::perf::run(*quick).map_err(CliError::Run)?;
+            std::fs::write(out, report.to_json())
+                .map_err(|e| CliError::Io(format!("--out {out}: {e}")))?;
+            let text = format!("{}wrote perf report to {out}\n", report.summary());
+            if let Some(max) = *max_seconds {
+                let took = report.run_all.optimized_ms / 1e3;
+                if took > max {
+                    return Err(CliError::Perf(format!(
+                        "perf: optimized run-all took {took:.1} s, over the {max:.1} s ceiling\n{text}"
+                    )));
+                }
+            }
+            Ok(text)
         }
         Command::Run {
             names,

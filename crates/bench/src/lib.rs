@@ -25,5 +25,6 @@
 
 pub mod cli;
 pub mod output;
+pub mod perf;
 
 pub use output::{ascii_heatmap, normalize_to_floret, ratio, section};

@@ -1,0 +1,350 @@
+//! The `pim-bench perf` harness: a machine-readable performance
+//! trajectory for the repository.
+//!
+//! One invocation times every registered experiment twice in the same
+//! process — once on the optimized path (shared [`pim_core::EvalCache`],
+//! red-black SOR thermal solver) and once on the baseline path (cache
+//! bypassed, the seed's reference Gauss-Seidel solver) — plus solver and
+//! DES micro-benchmarks, and writes the result as JSON (`BENCH_5.json`
+//! at the repo root is the committed baseline of this PR). Future PRs
+//! append `BENCH_<n>.json` files, giving every change a comparable,
+//! scripted perf record instead of hand-waved claims.
+//!
+//! `--quick` shrinks the workload axis to `WL1` for the CI perf lane;
+//! `--max-seconds` turns the optimized `run all` wall time into a hard
+//! ceiling (non-zero exit when exceeded).
+
+use std::time::Instant;
+
+use pim_core::{experiments, CacheStats, RunContext, Scenario, ScenarioError};
+use serde::Serialize;
+use thermal::{solve_red_black, solve_reference, PowerMap, Solver, ThermalConfig};
+use topology::{mesh2d, HwParams, NodeId};
+
+/// Wall-clock timing of one registered experiment in one pass.
+#[derive(Clone, Debug, Serialize)]
+pub struct ExperimentTiming {
+    /// Registry name.
+    pub name: String,
+    /// Optimized pass (cache + red-black solver), milliseconds.
+    pub optimized_ms: f64,
+    /// Baseline pass (no cache + reference solver), milliseconds.
+    pub baseline_ms: f64,
+    /// `baseline_ms / optimized_ms`.
+    pub speedup: f64,
+}
+
+/// The `run all` aggregate of the two passes.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunAllComparison {
+    /// Wall time of the whole optimized pass, milliseconds — one clock
+    /// around the full experiment loop, so registry dispatch and
+    /// context overhead are included (it can slightly exceed the sum of
+    /// `experiments[].optimized_ms`). This is the number `--max-seconds`
+    /// gates on.
+    pub optimized_ms: f64,
+    /// Wall time of the whole baseline pass, milliseconds (same clock).
+    pub baseline_ms: f64,
+    /// `baseline_ms / optimized_ms`.
+    pub speedup: f64,
+}
+
+/// Thermal-solver micro-benchmark on the paper's 5×5×4 grid.
+#[derive(Clone, Debug, Serialize)]
+pub struct SolverMicro {
+    /// Grid dimensions.
+    pub grid: (u16, u16, u16),
+    /// Red-black SOR solve time, milliseconds (mean over repetitions).
+    pub red_black_ms: f64,
+    /// Reference Gauss-Seidel solve time, milliseconds.
+    pub reference_ms: f64,
+    /// `reference_ms / red_black_ms`.
+    pub speedup: f64,
+    /// Sweeps the red-black solver needed to converge.
+    pub red_black_iterations: u32,
+    /// Sweeps the reference solver needed.
+    pub reference_iterations: u32,
+}
+
+/// DES scheduler micro-counters on a canonical 24-into-1 funnel burst.
+#[derive(Clone, Debug, Serialize)]
+pub struct DesMicro {
+    /// Flows simulated.
+    pub flows: usize,
+    /// Packets delivered.
+    pub packets: u64,
+    /// Heap events the wait-queue scheduler processed (the PR-2
+    /// efficiency counter; retry polling needed ≥ 2× more).
+    pub heap_events: u64,
+    /// Simulated makespan, cycles.
+    pub makespan_cycles: u64,
+    /// Cycles headers spent parked in channel wait queues.
+    pub total_channel_wait_cycles: u64,
+    /// Wall time of one simulation, milliseconds.
+    pub simulate_ms: f64,
+}
+
+/// Evaluation-cache counters of the optimized pass.
+#[derive(Clone, Debug, Serialize)]
+pub struct CacheSummary {
+    /// Hits/misses accumulated across the optimized `run all`.
+    pub stats: CacheStats,
+    /// The engine's config fingerprint (cache key prefix).
+    pub fingerprint: String,
+}
+
+/// The full perf record one `pim-bench perf` run writes.
+#[derive(Clone, Debug, Serialize)]
+pub struct PerfReport {
+    /// Schema tag for downstream tooling.
+    pub schema: &'static str,
+    /// The PR number this baseline belongs to (`BENCH_5.json`).
+    pub bench_pr: u32,
+    /// Whether the quick (CI) scenario was used.
+    pub quick: bool,
+    /// Worker threads of the scenario.
+    pub threads: usize,
+    /// Per-experiment wall times, registry order.
+    pub experiments: Vec<ExperimentTiming>,
+    /// The `run all` cached-vs-baseline comparison.
+    pub run_all: RunAllComparison,
+    /// The thermal-bound experiments (solver-isolating comparison: the
+    /// evaluation cache plays no part in them).
+    pub thermal_experiments: Vec<ExperimentTiming>,
+    /// Thermal-solver micro-benchmark.
+    pub solver: SolverMicro,
+    /// DES scheduler micro-counters.
+    pub des: DesMicro,
+    /// Evaluation-cache traffic of the optimized pass.
+    pub cache: CacheSummary,
+}
+
+/// The experiments whose wall time is dominated by the thermal solver
+/// (Platform3D evaluation loops); their baseline/optimized ratio
+/// isolates the red-black SOR speedup.
+const THERMAL_EXPERIMENTS: [&str; 4] = ["fig6", "fig7", "pareto", "ablation_thermal"];
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn base_scenario(quick: bool) -> Scenario {
+    let mut s = Scenario::new("all");
+    if quick {
+        s.workloads = vec!["WL1".to_string()];
+    }
+    s
+}
+
+/// One `run all`-shaped measurement pass: per-experiment wall times (in
+/// registry order), the total, and the context it ran against.
+struct TimedPass {
+    times: Vec<(String, f64)>,
+    total_ms: f64,
+    ctx: RunContext,
+}
+
+/// Runs every registered experiment once against a shared context (the
+/// `run all` shape).
+fn timed_pass(scenario: &Scenario, cache_enabled: bool) -> Result<TimedPass, ScenarioError> {
+    let registry = experiments::registry();
+    let ctx = RunContext::new_with_cache(scenario.resolve()?, cache_enabled);
+    let mut times = Vec::new();
+    let total = Instant::now();
+    for name in registry.names() {
+        let t = Instant::now();
+        registry.run(&ctx, name)?;
+        times.push((name.to_string(), ms(t)));
+    }
+    Ok(TimedPass {
+        times,
+        total_ms: ms(total),
+        ctx,
+    })
+}
+
+fn solver_micro() -> SolverMicro {
+    let mut power = PowerMap::new(5, 5, 4).expect("non-empty grid");
+    for x in 0..5 {
+        for y in 0..5 {
+            for z in 0..4 {
+                power
+                    .set(x, y, z, 0.3 + 0.05 * f64::from(x + y + z))
+                    .expect("in bounds");
+            }
+        }
+    }
+    let cfg = ThermalConfig::m3d();
+    const REPS: u32 = 20;
+    let t = Instant::now();
+    let mut rb_iters = 0;
+    for _ in 0..REPS {
+        rb_iters = solve_red_black(&power, &cfg, 1).iterations;
+    }
+    let red_black_ms = ms(t) / f64::from(REPS);
+    let t = Instant::now();
+    let mut gs_iters = 0;
+    for _ in 0..REPS {
+        gs_iters = solve_reference(&power, &cfg).iterations;
+    }
+    let reference_ms = ms(t) / f64::from(REPS);
+    SolverMicro {
+        grid: power.dims(),
+        red_black_ms,
+        reference_ms,
+        speedup: reference_ms / red_black_ms.max(f64::MIN_POSITIVE),
+        red_black_iterations: rb_iters,
+        reference_iterations: gs_iters,
+    }
+}
+
+fn des_micro() -> DesMicro {
+    let topo = mesh2d(5, 5).expect("mesh builds");
+    let hw = HwParams::default();
+    let rt = netsim::RouteTable::build(&topo, &hw);
+    let flows: Vec<netsim::Flow> = (0..24)
+        .map(|i| netsim::Flow::new(NodeId(i), NodeId(24), 4096))
+        .collect();
+    let t = Instant::now();
+    let report =
+        netsim::simulate_with_table(&topo, &hw, &flows, &netsim::SimConfig::default(), &rt);
+    DesMicro {
+        flows: flows.len(),
+        packets: report.packets,
+        heap_events: report.heap_events,
+        makespan_cycles: report.makespan_cycles,
+        total_channel_wait_cycles: report.total_channel_wait_cycles,
+        simulate_ms: ms(t),
+    }
+}
+
+/// Runs the full harness.
+///
+/// # Errors
+///
+/// Propagates [`ScenarioError`] from any experiment of either pass.
+pub fn run(quick: bool) -> Result<PerfReport, ScenarioError> {
+    let scenario = base_scenario(quick);
+    let threads = scenario.resolve()?.threads;
+
+    // Optimized pass: shared evaluation cache + red-black SOR.
+    thermal::set_default_solver(Solver::RedBlackSor);
+    let optimized = timed_pass(&scenario, true)?;
+    let cache = CacheSummary {
+        stats: optimized.ctx.cache_stats().unwrap_or_default(),
+        fingerprint: format!("{:016x}", optimized.ctx.cache_fingerprint().unwrap_or(0)),
+    };
+
+    // Baseline pass: cache bypassed, seed Gauss-Seidel solver — the
+    // pre-PR execution paths, measured in the same process.
+    thermal::set_default_solver(Solver::GaussSeidelReference);
+    let baseline_result = timed_pass(&scenario, false);
+    thermal::set_default_solver(Solver::RedBlackSor);
+    let baseline = baseline_result?;
+
+    let experiments: Vec<ExperimentTiming> = optimized
+        .times
+        .iter()
+        .zip(&baseline.times)
+        .map(|((name, opt_ms), (bname, base_ms))| {
+            debug_assert_eq!(name, bname);
+            ExperimentTiming {
+                name: name.clone(),
+                optimized_ms: *opt_ms,
+                baseline_ms: *base_ms,
+                speedup: base_ms / opt_ms.max(f64::MIN_POSITIVE),
+            }
+        })
+        .collect();
+    let thermal_experiments = experiments
+        .iter()
+        .filter(|e| THERMAL_EXPERIMENTS.contains(&e.name.as_str()))
+        .cloned()
+        .collect();
+
+    Ok(PerfReport {
+        schema: "pim-bench-perf-v1",
+        bench_pr: 5,
+        quick,
+        threads,
+        experiments,
+        run_all: RunAllComparison {
+            optimized_ms: optimized.total_ms,
+            baseline_ms: baseline.total_ms,
+            speedup: baseline.total_ms / optimized.total_ms.max(f64::MIN_POSITIVE),
+        },
+        thermal_experiments,
+        solver: solver_micro(),
+        des: des_micro(),
+        cache,
+    })
+}
+
+impl PerfReport {
+    /// The human-readable summary `pim-bench perf` prints next to the
+    /// JSON file.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "run all{}: {:.0} ms optimized vs {:.0} ms baseline ({:.2}x; cache {} hits / {} misses)\n",
+            if self.quick { " (quick)" } else { "" },
+            self.run_all.optimized_ms,
+            self.run_all.baseline_ms,
+            self.run_all.speedup,
+            self.cache.stats.hits,
+            self.cache.stats.misses,
+        ));
+        for e in &self.thermal_experiments {
+            out.push_str(&format!(
+                "{:<16} {:>8.1} ms vs {:>8.1} ms  ({:.2}x, solver-bound)\n",
+                e.name, e.optimized_ms, e.baseline_ms, e.speedup
+            ));
+        }
+        out.push_str(&format!(
+            "thermal solve 5x5x4: {:.3} ms ({} sweeps) vs {:.3} ms ({} sweeps) = {:.1}x\n",
+            self.solver.red_black_ms,
+            self.solver.red_black_iterations,
+            self.solver.reference_ms,
+            self.solver.reference_iterations,
+            self.solver.speedup,
+        ));
+        out.push_str(&format!(
+            "DES funnel: {} packets, {} heap events, {} wait cycles\n",
+            self.des.packets, self.des.heap_events, self.des.total_channel_wait_cycles
+        ));
+        out
+    }
+
+    /// Pretty-printed JSON (the `BENCH_*.json` format).
+    pub fn to_json(&self) -> String {
+        let mut json = serde_json::to_string_pretty(self).expect("serializable");
+        json.push('\n');
+        json
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_benches_report_sane_counters() {
+        let solver = solver_micro();
+        assert!(solver.red_black_iterations > 0);
+        assert!(
+            solver.reference_iterations > solver.red_black_iterations,
+            "SOR must need fewer sweeps"
+        );
+        let des = des_micro();
+        assert_eq!(des.flows, 24);
+        assert!(des.packets > 0 && des.heap_events > 0);
+        assert!(des.total_channel_wait_cycles > 0, "the funnel must contend");
+    }
+
+    #[test]
+    fn quick_scenario_narrows_the_workload_axis() {
+        let s = base_scenario(true);
+        assert_eq!(s.workloads, vec!["WL1"]);
+        assert!(base_scenario(false).workloads.is_empty());
+    }
+}

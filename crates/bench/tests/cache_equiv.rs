@@ -1,0 +1,80 @@
+//! End-to-end equivalence contracts of the evaluation cache and the
+//! red-black thermal solver at the CLI boundary:
+//!
+//! * `run all --format json` is byte-identical with the cache enabled
+//!   and bypassed (`PIM_BENCH_NO_CACHE=1`) — caching is a pure replay;
+//! * the full pipeline (including the solver-bound fig6/ablation
+//!   experiments) is byte-identical for any worker-thread count;
+//! * `PIM_BENCH_CACHE_STATS=1` surfaces hit/miss counters in the output
+//!   notes, and the default rendering carries none (so the byte-pinned
+//!   goldens stay valid).
+
+mod common;
+use common::{run_cli, run_cli_env};
+
+#[test]
+fn run_all_json_is_identical_with_and_without_the_cache() {
+    let cached = run_cli(&["run", "all", "--format", "json"]);
+    let bypassed = run_cli_env(
+        &["run", "all", "--format", "json"],
+        &[("PIM_BENCH_NO_CACHE", "1")],
+    );
+    assert!(
+        cached == bypassed,
+        "caching must be a pure replay: `run all --format json` diverged \
+         between cache-enabled and PIM_BENCH_NO_CACHE=1"
+    );
+    assert!(
+        cached.contains("\"experiment\": \"fig3\""),
+        "sanity: fig3 ran"
+    );
+}
+
+#[test]
+fn cached_pipeline_is_thread_count_independent() {
+    // fig3+fig5 exercise the cache (fig5 replays fig3's cells), fig6 and
+    // ablation_thermal exercise the red-black solver; the whole bundle
+    // must not change a byte across worker counts.
+    let args = |threads: &'static str| {
+        vec![
+            "run",
+            "fig3",
+            "fig5",
+            "ablation_thermal",
+            "fig6",
+            "--format",
+            "json",
+            "--threads",
+            threads,
+        ]
+    };
+    let one = run_cli(&args("1"));
+    let three = run_cli(&args("3"));
+    let eight = run_cli(&args("8"));
+    assert!(
+        one == three && one == eight,
+        "output depends on thread count"
+    );
+}
+
+#[test]
+fn cache_stats_notes_are_opt_in() {
+    let plain = run_cli(&["run", "fig3", "fig5", "--format", "json"]);
+    assert!(
+        !plain.contains("eval cache:"),
+        "cache counters must not leak into default output: {plain}"
+    );
+    let with_stats = run_cli_env(
+        &["run", "fig3", "fig5", "--format", "json"],
+        &[("PIM_BENCH_CACHE_STATS", "1")],
+    );
+    assert!(
+        with_stats.contains("eval cache: 0 hits, 20 misses"),
+        "fig3 fills the cache: {with_stats}"
+    );
+    assert!(
+        with_stats.contains("eval cache: 20 hits, 0 misses"),
+        "fig5 must replay fig3's 20 cells: {with_stats}"
+    );
+    assert!(with_stats.contains("config fingerprint"));
+}

@@ -5,8 +5,15 @@ use std::process::Command;
 
 /// Runs `pim-bench` with `args`, asserting success, and returns stdout.
 pub fn run_cli(args: &[&str]) -> String {
+    run_cli_env(args, &[])
+}
+
+/// [`run_cli`] with extra environment variables (the cache/solver knobs).
+#[allow(dead_code)] // each integration-test binary uses its own subset
+pub fn run_cli_env(args: &[&str], envs: &[(&str, &str)]) -> String {
     let out = Command::new(env!("CARGO_BIN_EXE_pim-bench"))
         .args(args)
+        .envs(envs.iter().copied())
         .output()
         .expect("pim-bench spawns");
     assert!(

@@ -58,4 +58,4 @@ pub use scenario::{
     CellValue, Column, ColumnType, ExperimentOutput, ExperimentRegistry, ExperimentSpec,
     ResolvedScenario, RunContext, Scenario, ScenarioError, Table,
 };
-pub use sweep::{default_threads, parallel_map, SweepRunner};
+pub use sweep::{default_threads, parallel_map, CacheStats, EvalCache, SweepRunner};

@@ -292,16 +292,39 @@ impl Platform25D {
         dataflows: &[Dataflow],
     ) -> Vec<WorkloadReport> {
         let graphs = Self::task_graphs(wl);
-        let outcome = run_churn(
-            &graphs,
+        let outcome = self.churn_outcome_from_graphs(&graphs);
+        dataflows
+            .iter()
+            .map(|&df| self.cost_churn_outcome(wl, &graphs, &outcome, df))
+            .collect()
+    }
+
+    /// The dynamic-churn mapping for pre-built task graphs (the
+    /// expensive, dataflow-independent half of a workload run). The
+    /// `pim_core::sweep::EvalCache` memoizes this so consecutive
+    /// experiments cost new dataflows from the same placement.
+    pub fn churn_outcome_from_graphs(&self, graphs: &[SegmentGraph]) -> ChurnOutcome {
+        run_churn(
+            graphs,
             self.cfg.node_count(),
             self.cfg.node_capacity(),
             &self.strategy(true),
-        );
-        dataflows
-            .iter()
-            .map(|&df| self.report_from_outcome(wl, &graphs, &outcome, df))
-            .collect()
+        )
+    }
+
+    /// Costs one pre-computed churn outcome under one dataflow — the
+    /// exact per-mode step of [`Platform25D::run_workload_dataflows`],
+    /// exposed so the evaluation cache can replay a memoized mapping
+    /// without redoing it. `graphs` and `outcome` must have been produced
+    /// for `wl` on this platform.
+    pub fn cost_churn_outcome(
+        &self,
+        wl: &Workload,
+        graphs: &[SegmentGraph],
+        outcome: &ChurnOutcome,
+        dataflow: Dataflow,
+    ) -> WorkloadReport {
+        self.report_from_outcome(wl, graphs, outcome, dataflow)
     }
 
     /// Costs one churned placement under one dataflow: transfer

@@ -46,7 +46,7 @@ use topology::TopologyError;
 
 use crate::arch::NoiArch;
 use crate::config::{ConfigError, SystemConfig};
-use crate::sweep::{default_threads, SweepRunner};
+use crate::sweep::{default_threads, CacheStats, SweepRunner};
 
 /// A declarative experiment specification: *which* artifact to
 /// regenerate and along *which* axes, with no imperative wiring.
@@ -555,9 +555,25 @@ impl ExperimentRegistry {
         let spec = self
             .get(name)
             .ok_or_else(|| ScenarioError::UnknownExperiment(name.to_string()))?;
+        let before = ctx.cache_stats().unwrap_or_default();
         let mut out = (spec.run)(ctx)?;
         out.experiment = spec.name.to_string();
         out.description = spec.description.to_string();
+        // Surface this experiment's evaluation-cache traffic when asked.
+        // Opt-in (PIM_BENCH_CACHE_STATS=1) so default renderings — and
+        // the byte-pinned goldens — are unchanged; `pim-bench perf`
+        // reads the counters directly instead.
+        if std::env::var_os("PIM_BENCH_CACHE_STATS").is_some_and(|v| !v.is_empty() && v != *"0") {
+            if let Some(stats) = ctx.cache_stats() {
+                let delta = stats.since(before);
+                out.notes.push(format!(
+                    "eval cache: {} hits, {} misses (config fingerprint {:016x})",
+                    delta.hits,
+                    delta.misses,
+                    ctx.cache_fingerprint().unwrap_or(0),
+                ));
+            }
+        }
         Ok(out)
     }
 
@@ -580,6 +596,7 @@ impl ExperimentRegistry {
 pub struct RunContext {
     scenario: ResolvedScenario,
     runner: OnceCell<SweepRunner>,
+    cache_override: Option<bool>,
 }
 
 impl RunContext {
@@ -588,6 +605,19 @@ impl RunContext {
         RunContext {
             scenario,
             runner: OnceCell::new(),
+            cache_override: None,
+        }
+    }
+
+    /// [`RunContext::new`] with the evaluation cache explicitly forced on
+    /// or off, overriding `PIM_BENCH_NO_CACHE` — the `pim-bench perf`
+    /// harness measures the cached and uncached paths of the same
+    /// process this way.
+    pub fn new_with_cache(scenario: ResolvedScenario, cache_enabled: bool) -> Self {
+        RunContext {
+            scenario,
+            runner: OnceCell::new(),
+            cache_override: Some(cache_enabled),
         }
     }
 
@@ -605,12 +635,27 @@ impl RunContext {
     /// cannot build the scenario's architectures.
     pub fn runner(&self) -> Result<&SweepRunner, ScenarioError> {
         if self.runner.get().is_none() {
-            let built = SweepRunner::from_scenario(&self.scenario)?;
+            let mut built = SweepRunner::from_scenario(&self.scenario)?;
+            if let Some(enabled) = self.cache_override {
+                built = built.with_cache_enabled(enabled);
+            }
             // A concurrent set is impossible (&self, single thread);
             // ignore the Err(built) case the API forces us to cover.
             let _ = self.runner.set(built);
         }
         Ok(self.runner.get().expect("just initialized"))
+    }
+
+    /// Evaluation-cache counters of the shared engine, or `None` while no
+    /// engine has been built (3D-only experiments never build one).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.runner.get().map(|r| r.cache().stats())
+    }
+
+    /// The shared engine's config fingerprint (the cache key prefix), if
+    /// an engine has been built.
+    pub fn cache_fingerprint(&self) -> Option<u64> {
+        self.runner.get().map(|r| r.cache().fingerprint())
     }
 }
 

@@ -14,11 +14,31 @@
 //! to the sequential loop it replaces, for any worker count (including
 //! one). [`parallel_map`] preserves input order; nothing about thread
 //! scheduling can reach the reported numbers.
+//!
+//! # The evaluation cache
+//!
+//! Different experiments ask for overlapping grids: Fig. 3 and Fig. 5
+//! both run the full (mix × architecture) sweep, and the dataflow figure
+//! re-maps the same cells before costing each mode. The [`EvalCache`]
+//! owned by every `SweepRunner` memoizes finished [`WorkloadReport`]s
+//! (keyed by config fingerprint × architecture × workload × dataflow)
+//! and the dataflow-independent churn mappings behind them, so a shared
+//! runner — `pim-bench run all` holds one per [`crate::RunContext`] —
+//! does each evaluation exactly once. Cached cells are pure replays:
+//! output stays byte-identical to uncached runs at any thread count.
+//! `PIM_BENCH_NO_CACHE=1` bypasses the cache (the equivalence tests diff
+//! both modes), and hit/miss counters are surfaced per experiment when
+//! `PIM_BENCH_CACHE_STATS=1`.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread;
 
-use dnn::{table2, Dataflow, Workload};
+use dnn::{table2, Dataflow, SegmentGraph, Workload};
+use mapper::ChurnOutcome;
+use serde::Serialize;
 use topology::{TopologyError, TopologySummary};
 
 use crate::arch::NoiArch;
@@ -74,6 +94,135 @@ where
     indexed.into_iter().map(|(_, v)| v).collect()
 }
 
+/// A hit/miss counter snapshot of an [`EvalCache`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct CacheStats {
+    /// Workload reports served from the cache.
+    pub hits: u64,
+    /// Workload reports computed (and stored) on demand.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Counter delta since an earlier snapshot (the per-experiment
+    /// numbers `PIM_BENCH_CACHE_STATS=1` surfaces in output notes).
+    #[must_use]
+    pub fn since(&self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+        }
+    }
+}
+
+/// The memoized churn mapping of one (architecture, workload) cell: task
+/// graphs plus the dynamic-churn placement, both dataflow-independent.
+struct ChurnEntry {
+    graphs: Vec<SegmentGraph>,
+    outcome: ChurnOutcome,
+}
+
+/// Cross-experiment evaluation cache (see the module docs). Owned by a
+/// [`SweepRunner`]; every lookup is keyed by the runner's config
+/// fingerprint so entries can never leak across differently-configured
+/// engines.
+pub struct EvalCache {
+    fingerprint: u64,
+    enabled: bool,
+    reports: Mutex<HashMap<(&'static str, u64, &'static str), WorkloadReport>>,
+    churn: Mutex<HashMap<(&'static str, u64), Arc<ChurnEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl fmt::Debug for EvalCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EvalCache")
+            .field("fingerprint", &format_args!("{:016x}", self.fingerprint))
+            .field("enabled", &self.enabled)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+/// FNV-1a over a value's stable `Debug` representation: cheap, has no
+/// dependency on a serializer, and changes whenever any field changes —
+/// the property the cache keys need.
+fn debug_fingerprint(value: &impl fmt::Debug) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in format!("{value:?}").bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x1_0000_01b3);
+    }
+    hash
+}
+
+/// The runner-wide key prefix: covers the full [`SystemConfig`]
+/// (hardware, PIM, thermal, sampling, batch, ...).
+fn config_fingerprint(cfg: &SystemConfig) -> u64 {
+    debug_fingerprint(cfg)
+}
+
+/// Per-cell workload key: covers the *content* of the mix (name, task
+/// list, paper totals), not just the Table II name — a caller-mutated
+/// `Workload` that reuses a name can never replay another workload's
+/// reports.
+fn workload_fingerprint(wl: &Workload) -> u64 {
+    debug_fingerprint(wl)
+}
+
+impl EvalCache {
+    /// An empty cache for one config; `PIM_BENCH_NO_CACHE=1` (any
+    /// non-`0` value) starts it bypassed.
+    fn new(cfg: &SystemConfig) -> Self {
+        let bypassed =
+            std::env::var_os("PIM_BENCH_NO_CACHE").is_some_and(|v| !v.is_empty() && v != *"0");
+        EvalCache {
+            fingerprint: config_fingerprint(cfg),
+            enabled: !bypassed,
+            reports: Mutex::new(HashMap::new()),
+            churn: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The owning runner's config fingerprint (part of every key).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// False when the cache is bypassed (every evaluation recomputes).
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The memoized (graphs, churn mapping) of one cell, computed on
+    /// first use.
+    fn churn_entry(&self, platform: &Platform25D, wl: &Workload, wfp: u64) -> Arc<ChurnEntry> {
+        let key = (platform.arch_name(), wfp);
+        if let Some(entry) = self.churn.lock().expect("cache lock").get(&key) {
+            return Arc::clone(entry);
+        }
+        let graphs = Platform25D::task_graphs(wl);
+        let outcome = platform.churn_outcome_from_graphs(&graphs);
+        let entry = Arc::new(ChurnEntry { graphs, outcome });
+        self.churn
+            .lock()
+            .expect("cache lock")
+            .insert(key, Arc::clone(&entry));
+        entry
+    }
+}
+
 /// The experiment engine: the four paper platforms built once (route
 /// tables cached inside), plus a parallel grid executor.
 ///
@@ -92,6 +241,7 @@ pub struct SweepRunner {
     cfg: SystemConfig,
     threads: usize,
     platforms: Vec<Platform25D>, // NoiArch::all() order
+    cache: EvalCache,
 }
 
 impl SweepRunner {
@@ -122,6 +272,7 @@ impl SweepRunner {
             cfg: cfg.clone(),
             threads,
             platforms,
+            cache: EvalCache::new(cfg),
         })
     }
 
@@ -149,6 +300,64 @@ impl SweepRunner {
         self.threads
     }
 
+    /// The engine's cross-experiment evaluation cache.
+    pub fn cache(&self) -> &EvalCache {
+        &self.cache
+    }
+
+    /// Forces the cache on or off (the programmatic form of
+    /// `PIM_BENCH_NO_CACHE`, used by `pim-bench perf` to measure the
+    /// uncached baseline in the same process).
+    #[must_use]
+    pub fn with_cache_enabled(mut self, enabled: bool) -> Self {
+        self.cache.enabled = enabled;
+        self
+    }
+
+    /// Evaluates one (architecture, workload) cell for a dataflow set,
+    /// through the cache when enabled. Cached reports are replayed
+    /// clones; a partial hit reuses the memoized churn mapping and only
+    /// costs the missing modes — every path produces reports
+    /// bit-identical to [`Platform25D::run_workload_dataflows`].
+    fn eval_cell(&self, pi: usize, wl: &Workload, dataflows: &[Dataflow]) -> Vec<WorkloadReport> {
+        let platform = &self.platforms[pi];
+        if !self.cache.enabled {
+            return platform.run_workload_dataflows(wl, dataflows);
+        }
+        let arch = platform.arch_name();
+        let wfp = workload_fingerprint(wl);
+        let mut out: Vec<Option<WorkloadReport>> = {
+            let reports = self.cache.reports.lock().expect("cache lock");
+            dataflows
+                .iter()
+                .map(|df| reports.get(&(arch, wfp, df.name())).cloned())
+                .collect()
+        };
+        let missing: Vec<usize> = (0..out.len()).filter(|&i| out[i].is_none()).collect();
+        self.cache
+            .hits
+            .fetch_add((dataflows.len() - missing.len()) as u64, Ordering::Relaxed);
+        self.cache
+            .misses
+            .fetch_add(missing.len() as u64, Ordering::Relaxed);
+        if !missing.is_empty() {
+            let entry = self.cache.churn_entry(platform, wl, wfp);
+            for &mi in &missing {
+                let df = dataflows[mi];
+                let report = platform.cost_churn_outcome(wl, &entry.graphs, &entry.outcome, df);
+                self.cache
+                    .reports
+                    .lock()
+                    .expect("cache lock")
+                    .insert((arch, wfp, df.name()), report.clone());
+                out[mi] = Some(report);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every slot filled above"))
+            .collect()
+    }
+
     /// The system configuration the platforms were built with.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
@@ -174,7 +383,14 @@ impl SweepRunner {
     /// Runs one (architecture, workload) cell on the cached platform.
     pub fn run_arch_workload(&self, arch: &NoiArch, wl_name: &str) -> WorkloadReport {
         let wl = dnn::table2_workload(wl_name).expect("table II workload");
-        self.platform(arch).run_workload(&wl)
+        let pi = self
+            .platforms
+            .iter()
+            .position(|p| p.arch() == arch)
+            .expect("SweepRunner caches every paper architecture");
+        self.eval_cell(pi, &wl, &[Dataflow::WeightStationary])
+            .pop()
+            .expect("one dataflow in, one report out")
     }
 
     /// The (workload × architecture) grid over the cached platforms:
@@ -186,7 +402,9 @@ impl SweepRunner {
             .flat_map(|wl| (0..self.platforms.len()).map(move |pi| (wl, pi)))
             .collect();
         parallel_map(&cells, self.threads, |&(wl, pi)| {
-            self.platforms[pi].run_workload(wl)
+            self.eval_cell(pi, wl, &[Dataflow::WeightStationary])
+                .pop()
+                .expect("one dataflow in, one report out")
         })
     }
 
@@ -218,7 +436,7 @@ impl SweepRunner {
             .flat_map(|wl| (0..self.platforms.len()).map(move |pi| (wl, pi)))
             .collect();
         let per_cell = parallel_map(&cells, self.threads, |&(wl, pi)| {
-            self.platforms[pi].run_workload_dataflows(wl, dataflows)
+            self.eval_cell(pi, wl, dataflows)
         });
         // Reassemble (workload, arch)[dataflow] into workload-major,
         // dataflow, architecture order.
@@ -351,5 +569,107 @@ mod tests {
             .with_threads(1)
             .run_workloads(std::slice::from_ref(&wl));
         assert_eq!(wide, narrow);
+    }
+
+    #[test]
+    fn cache_replays_are_byte_identical_to_uncached_runs() {
+        let cfg = SystemConfig::datacenter_25d();
+        let wl = dnn::table2_workload("WL1").unwrap();
+        let cached = SweepRunner::new(&cfg).unwrap().with_cache_enabled(true);
+        let bypass = SweepRunner::new(&cfg).unwrap().with_cache_enabled(false);
+
+        let first = cached.run_workloads(std::slice::from_ref(&wl));
+        let replay = cached.run_workloads(std::slice::from_ref(&wl));
+        let fresh = bypass.run_workloads(std::slice::from_ref(&wl));
+        assert_eq!(first, replay, "cache replay must change nothing");
+        assert_eq!(first, fresh, "cached and bypassed paths must agree");
+        assert_eq!(bypass.cache().stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses_per_cell() {
+        let cfg = SystemConfig::datacenter_25d();
+        let wl = dnn::table2_workload("WL1").unwrap();
+        let runner = SweepRunner::new(&cfg).unwrap().with_cache_enabled(true);
+        let n = runner.platforms().len() as u64;
+
+        runner.run_workloads(std::slice::from_ref(&wl));
+        assert_eq!(runner.cache().stats(), CacheStats { hits: 0, misses: n });
+        runner.run_workloads(std::slice::from_ref(&wl));
+        assert_eq!(runner.cache().stats(), CacheStats { hits: n, misses: n });
+    }
+
+    #[test]
+    fn partial_hits_reuse_the_memoized_churn_mapping() {
+        // Warm the cache with the weight-stationary rows (the fig3/fig5
+        // path), then ask for the full dataflow grid: WS rows replay from
+        // the cache, the other modes are costed from the memoized churn
+        // mapping — and everything is bit-identical to a cold engine
+        // evaluating the grid in one go.
+        let cfg = SystemConfig::datacenter_25d();
+        let wl = dnn::table2_workload("WL1").unwrap();
+        let dataflows = Dataflow::all();
+        let warmed = SweepRunner::new(&cfg).unwrap().with_cache_enabled(true);
+        let ws_rows = warmed.run_workloads(std::slice::from_ref(&wl));
+        let grid = warmed.run_workloads_dataflows(std::slice::from_ref(&wl), &dataflows);
+
+        let cold = SweepRunner::new(&cfg).unwrap().with_cache_enabled(true);
+        let cold_grid = cold.run_workloads_dataflows(std::slice::from_ref(&wl), &dataflows);
+        assert_eq!(grid, cold_grid);
+        assert_eq!(&grid[..ws_rows.len()], &ws_rows[..]);
+
+        let n = warmed.platforms().len() as u64;
+        let n_df = dataflows.len() as u64;
+        // Warm engine: n WS misses, then n WS hits + n * (n_df - 1)
+        // misses for the remaining modes.
+        assert_eq!(
+            warmed.cache().stats(),
+            CacheStats {
+                hits: n,
+                misses: n * n_df
+            }
+        );
+    }
+
+    #[test]
+    fn mutated_workload_with_reused_name_never_replays_stale_reports() {
+        // Cache keys cover workload *content*: a caller-tweaked mix that
+        // keeps the "WL1" name must miss and be evaluated fresh.
+        let cfg = SystemConfig::datacenter_25d();
+        let wl = dnn::table2_workload("WL1").unwrap();
+        let mut shrunk = wl.clone();
+        shrunk.mix.truncate(1); // still named "WL1", different content
+        let runner = SweepRunner::new(&cfg).unwrap().with_cache_enabled(true);
+        let original = runner.run_workloads(std::slice::from_ref(&wl));
+        let tweaked = runner.run_workloads(std::slice::from_ref(&shrunk));
+        assert_ne!(original, tweaked, "stale replay under a reused name");
+        let n = runner.platforms().len() as u64;
+        assert_eq!(
+            runner.cache().stats(),
+            CacheStats {
+                hits: 0,
+                misses: 2 * n
+            }
+        );
+        // The tweaked rows match an uncached evaluation of the same mix.
+        let fresh = SweepRunner::new(&cfg)
+            .unwrap()
+            .with_cache_enabled(false)
+            .run_workloads(std::slice::from_ref(&shrunk));
+        assert_eq!(tweaked, fresh);
+    }
+
+    #[test]
+    fn fingerprints_separate_configs() {
+        let base = SystemConfig::datacenter_25d();
+        let mut tweaked = base.clone();
+        tweaked.batch += 1;
+        let a = SweepRunner::new(&base).unwrap();
+        let b = SweepRunner::new(&tweaked).unwrap();
+        assert_ne!(a.cache().fingerprint(), b.cache().fingerprint());
+        assert_eq!(
+            a.cache().fingerprint(),
+            SweepRunner::new(&base).unwrap().cache().fingerprint()
+        );
     }
 }

@@ -58,11 +58,14 @@ pub fn analyze_with_table(
     let mut weighted_hops = 0.0f64;
     let mut total_bytes = 0u64;
 
+    // Reused scratch: routing allocates nothing per flow (see
+    // `RouteTable::path_into`).
+    let mut path = Vec::new();
     for f in flows {
         if f.src == f.dst || f.bytes == 0 {
             continue;
         }
-        let path = rt.path(topo, f.src, f.dst);
+        rt.path_into(topo, f.src, f.dst, &mut path);
         let flits = f.bytes.div_ceil(hw.flit_bytes as u64).max(1);
         let bits = f.bytes * 8;
         let mut header_cycles = 0u64;

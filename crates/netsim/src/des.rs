@@ -175,11 +175,14 @@ fn build_packets(
     let mut packets: Vec<Packet> = Vec::new();
     let mut energy_pj = 0.0f64;
     let mut flit_hops = 0u64;
+    // One scratch path buffer for the whole setup: `path_into` clears and
+    // refills it per flow, so the hot loop never allocates for routing.
+    let mut path: Vec<LinkId> = Vec::new();
     for f in flows {
         if f.src == f.dst || f.bytes == 0 {
             continue;
         }
-        let path = rt.path(topo, f.src, f.dst);
+        rt.path_into(topo, f.src, f.dst, &mut path);
         let mut remaining = f.bytes;
         while remaining > 0 {
             let size = remaining.min(cfg.packet_bytes as u64);

@@ -41,6 +41,21 @@ impl RouteTable {
     /// builder-validated topologies).
     pub fn path(&self, topo: &Topology, src: NodeId, dst: NodeId) -> Vec<LinkId> {
         let mut links = Vec::new();
+        self.path_into(topo, src, dst, &mut links);
+        links
+    }
+
+    /// [`RouteTable::path`] into a caller-owned scratch buffer (cleared
+    /// first). The packet/flow setup loops call this once per flow with a
+    /// single reused buffer, so steady-state path walking performs no
+    /// heap allocation at all (pinned by the `path_alloc` test).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology was disconnected (cannot happen for
+    /// builder-validated topologies).
+    pub fn path_into(&self, topo: &Topology, src: NodeId, dst: NodeId, links: &mut Vec<LinkId>) {
+        links.clear();
         let mut at = src;
         while at != dst {
             let lid = self
@@ -50,12 +65,21 @@ impl RouteTable {
             at = topo.link(lid).opposite(at);
             debug_assert!(links.len() <= topo.node_count(), "routing loop");
         }
-        links
     }
 
-    /// Hop count (links traversed) from `src` to `dst`.
+    /// Hop count (links traversed) from `src` to `dst`, allocation-free.
     pub fn hops(&self, topo: &Topology, src: NodeId, dst: NodeId) -> usize {
-        self.path(topo, src, dst).len()
+        let mut hops = 0;
+        let mut at = src;
+        while at != dst {
+            let lid = self
+                .next_link(at, dst)
+                .expect("connected topology always routes");
+            at = topo.link(lid).opposite(at);
+            hops += 1;
+            debug_assert!(hops <= topo.node_count(), "routing loop");
+        }
+        hops
     }
 }
 
