@@ -1,0 +1,7 @@
+//! Thin shim: delegates to the experiment registry, identical to
+//! `pim-bench run serving` (the multi-tenant fleet serving sweep).
+//! Extra flags pass through: `serving --format json` works.
+
+fn main() {
+    std::process::exit(pim_bench::cli::shim("serving"));
+}

@@ -8,6 +8,7 @@
 //!     [--format table|json|csv] [--out <path>]
 //!     [--threads N] [--seed N] [--set key=value]...
 //!     [--arch <name>]... [--workload <WLn>]... [--dataflow <WS|OS|IS|FL>]...
+//!     [--strategy sfc|greedy]
 //! pim-bench perf [--quick] [--out <path>] [--max-seconds N]
 //! ```
 //!
@@ -20,6 +21,7 @@
 use std::fmt;
 
 use dnn::Dataflow;
+use mapper::StrategyKind;
 use pim_core::{experiments, NoiArch, Scenario, ScenarioError};
 
 use crate::output::{render, Format};
@@ -36,7 +38,7 @@ USAGE:
 
 PERF OPTIONS:
     --quick                   CI scenario: WL1 only (full Table II otherwise)
-    --out <path>              where to write the JSON (default: BENCH_5.json)
+    --out <path>              where to write the JSON (default: BENCH_6.json)
     --max-seconds <N>         fail (exit 1) if the optimized run-all exceeds N s
 
 RUN OPTIONS:
@@ -48,13 +50,16 @@ RUN OPTIONS:
     --arch <name>             architecture subset: Floret, SIAM, Kite, SWAP (repeatable)
     --workload <WLn>          Table II mix subset (repeatable)
     --dataflow <mode>         dataflow subset: WS, OS, IS, FL (repeatable)
+    --strategy sfc|greedy     force the mapping strategy (default: per-arch paper choice)
 
 EXAMPLES:
     pim-bench run fig3
+    pim-bench run serving                  # multi-tenant fleet serving sweep
     pim-bench run dataflows --workload WL1 --dataflow WS --dataflow FL
     pim-bench run table1 fig3 --format json --out results.json
     pim-bench run all --format json        # supersedes the export_json binary
     pim-bench run fig5 --set sim_sampling=32 --set batch=4 --threads 1
+    pim-bench run poisson --strategy greedy
     pim-bench perf --quick --max-seconds 300";
 
 /// A CLI failure, split by exit code.
@@ -92,8 +97,9 @@ pub enum Command {
     Run {
         /// Requested experiment names (`all` already expanded).
         names: Vec<String>,
-        /// The declarative scenario built from the flags.
-        scenario: Scenario,
+        /// The declarative scenario built from the flags (boxed: the
+        /// serving block makes it by far the largest variant payload).
+        scenario: Box<Scenario>,
         /// Output format.
         format: Format,
         /// Optional output file.
@@ -133,7 +139,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         }
         "perf" => {
             let mut quick = false;
-            let mut out = "BENCH_5.json".to_string();
+            let mut out = "BENCH_6.json".to_string();
             let mut max_seconds = None;
             let mut it = args[1..].iter();
             while let Some(arg) = it.next() {
@@ -206,6 +212,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         scenario.archs.push(v.parse::<NoiArch>().map_err(usage)?);
                     }
                     "--workload" => scenario.workloads.push(value_of("--workload")?),
+                    "--strategy" => {
+                        let v = value_of("--strategy")?;
+                        scenario.strategy = Some(v.parse::<StrategyKind>().map_err(usage)?);
+                    }
                     "--dataflow" => {
                         let v = value_of("--dataflow")?;
                         scenario.dataflows.push(
@@ -232,7 +242,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             scenario.experiment.clone_from(&names[0]);
             Ok(Command::Run {
                 names,
-                scenario,
+                scenario: Box::new(scenario),
                 format,
                 out,
             })
@@ -407,6 +417,8 @@ mod tests {
             "WL1",
             "--dataflow",
             "FL",
+            "--strategy",
+            "greedy",
             "--out",
             "/tmp/x.json",
         ]))
@@ -429,6 +441,7 @@ mod tests {
         assert_eq!(scenario.archs, vec![NoiArch::Floret { lambda: 6 }]);
         assert_eq!(scenario.workloads, vec!["WL1"]);
         assert_eq!(scenario.dataflows, vec![Dataflow::FusedLayer]);
+        assert_eq!(scenario.strategy, Some(StrategyKind::Greedy));
     }
 
     #[test]
@@ -449,6 +462,7 @@ mod tests {
             (vec!["run", "fig3", "--bogus"], "--bogus"),
             (vec!["frobnicate"], "frobnicate"),
             (vec!["run", "fig3", "--arch", "torus"], "torus"),
+            (vec!["run", "poisson", "--strategy", "fast"], "fast"),
         ] {
             let err = parse(&argv(&args)).unwrap_err();
             let CliError::Usage(msg) = err else {

@@ -11,7 +11,7 @@
 use std::fmt;
 use std::str::FromStr;
 
-use pim_core::{CellValue, ColumnType, ExperimentOutput, Table};
+use pim_core::{CellValue, ColumnType, ExperimentOutput, Histogram, Table};
 
 pub use pim_core::experiments::{ascii_heatmap, normalize_to_floret};
 
@@ -23,6 +23,22 @@ pub fn section(title: &str) {
 /// Formats a ratio as `x.xx×`.
 pub fn ratio(v: f64) -> String {
     format!("{v:.2}x")
+}
+
+/// Humanizes a nanosecond duration (`812 ns`, `4.05 us`, `2.236 ms`,
+/// `1.500 s`) — the table rendering of [`ColumnType::Duration`]; JSON
+/// and CSV keep raw nanoseconds.
+pub fn duration(ns: f64) -> String {
+    let abs = ns.abs();
+    if abs < 1e3 {
+        format!("{ns:.0} ns")
+    } else if abs < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if abs < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
 }
 
 /// Output format selector for the `pim-bench` CLI (`--format`).
@@ -68,6 +84,7 @@ pub fn format_cell(v: &CellValue, ty: &ColumnType) -> String {
         (CellValue::Str(s), _) => s.clone(),
         (CellValue::UInt(u), _) => u.to_string(),
         (CellValue::Int(i), _) => i.to_string(),
+        (CellValue::Duration(ns), _) => duration(*ns),
         (CellValue::Float(f), ColumnType::Ratio) => ratio(*f),
         (
             CellValue::Float(f),
@@ -97,6 +114,8 @@ fn raw_cell(v: &CellValue) -> String {
         CellValue::UInt(u) => u.to_string(),
         CellValue::Int(i) => i.to_string(),
         CellValue::Float(f) => f.to_string(),
+        // Raw nanoseconds: machine-consumable, no unit suffix.
+        CellValue::Duration(ns) => ns.to_string(),
     }
 }
 
@@ -129,6 +148,56 @@ fn render_table_text(t: &Table, out: &mut String) {
             .collect();
         out.push_str(line.join("  ").trim_end());
         out.push('\n');
+    }
+}
+
+/// Bar width of the widest histogram bin in the table rendering.
+const HISTOGRAM_BAR_WIDTH: usize = 40;
+
+fn histogram_edge(h: &Histogram, e: f64) -> String {
+    if h.unit == "ns" {
+        duration(e)
+    } else {
+        format!("{e} {}", h.unit)
+    }
+}
+
+fn render_histogram_text(h: &Histogram, out: &mut String) {
+    out.push_str(&format!("\n=== {} ===\n", h.title));
+    let max = h.counts.iter().copied().max().unwrap_or(0).max(1);
+    let labels: Vec<String> = h
+        .edges
+        .windows(2)
+        .map(|w| {
+            format!(
+                "[{} .. {})",
+                histogram_edge(h, w[0]),
+                histogram_edge(h, w[1])
+            )
+        })
+        .collect();
+    let label_w = labels.iter().map(String::len).max().unwrap_or(0);
+    let count_w = h
+        .counts
+        .iter()
+        .map(|c| c.to_string().len())
+        .max()
+        .unwrap_or(1);
+    for (label, &count) in labels.iter().zip(&h.counts) {
+        let bar = "#".repeat((count as usize * HISTOGRAM_BAR_WIDTH).div_ceil(max as usize));
+        out.push_str(format!("{label:<label_w$}  {count:>count_w$}  {bar}").trim_end());
+        out.push('\n');
+    }
+}
+
+fn render_histogram_csv(experiment: &str, h: &Histogram, out: &mut String) {
+    out.push_str(&format!(
+        "# experiment: {experiment} | histogram: {} ({})\n",
+        h.title, h.unit
+    ));
+    out.push_str("bin_lo,bin_hi,count\n");
+    for (w, count) in h.edges.windows(2).zip(&h.counts) {
+        out.push_str(&format!("{},{},{count}\n", w[0], w[1]));
     }
 }
 
@@ -169,6 +238,9 @@ pub fn render(outputs: &[ExperimentOutput], format: Format) -> String {
                 for t in &o.tables {
                     render_table_text(t, &mut out);
                 }
+                for h in &o.histograms {
+                    render_histogram_text(h, &mut out);
+                }
                 for note in &o.notes {
                     out.push('\n');
                     out.push_str(note.trim_end());
@@ -184,6 +256,9 @@ pub fn render(outputs: &[ExperimentOutput], format: Format) -> String {
             for o in outputs {
                 for t in &o.tables {
                     render_table_csv(&o.experiment, t, &mut out);
+                }
+                for h in &o.histograms {
+                    render_histogram_csv(&o.experiment, h, &mut out);
                 }
                 for note in &o.notes {
                     for line in note.lines() {
@@ -278,6 +353,56 @@ mod tests {
         assert!(text.contains("name,n,v,e,r"));
         assert!(text.contains("\"alpha, beta\""), "{text}");
         assert!(text.contains("# note: a note"));
+    }
+
+    fn sample_with_histogram() -> ExperimentOutput {
+        let mut o = ExperimentOutput::new("demo", "a demo");
+        let mut t = Table::new(
+            "latency",
+            vec![Column::str("point"), Column::percentile("p99")],
+        );
+        t.push(vec!["light".into(), CellValue::Duration(4_416_637.0)]);
+        o.tables.push(t);
+        let mut h = Histogram::new("latency distribution", "ns", vec![0.0, 1e6, 4e6, 16e6]);
+        for v in [0.5e6, 2e6, 2.5e6, 3e6, 8e6] {
+            h.record(v);
+        }
+        o.histograms.push(h);
+        o
+    }
+
+    #[test]
+    fn durations_humanize_in_tables_and_stay_raw_in_csv() {
+        assert_eq!(duration(812.0), "812 ns");
+        assert_eq!(duration(4_050.0), "4.05 us");
+        assert_eq!(duration(2_235_698.0), "2.236 ms");
+        assert_eq!(duration(1.5e9), "1.500 s");
+        let o = sample_with_histogram();
+        let text = render(std::slice::from_ref(&o), Format::Table);
+        assert!(text.contains("4.417 ms"), "{text}");
+        let csv = render(std::slice::from_ref(&o), Format::Csv);
+        assert!(csv.contains("light,4416637"), "{csv}");
+    }
+
+    #[test]
+    fn histograms_render_in_all_three_formats() {
+        let o = sample_with_histogram();
+        let text = render(std::slice::from_ref(&o), Format::Table);
+        assert!(text.contains("=== latency distribution ==="), "{text}");
+        // Three bins with counts 1, 3, 1; the modal bin gets the full bar.
+        assert!(text.contains(&"#".repeat(HISTOGRAM_BAR_WIDTH)), "{text}");
+        assert!(text.contains("[0 ns .. 1.000 ms)"), "{text}");
+        let csv = render(std::slice::from_ref(&o), Format::Csv);
+        assert!(
+            csv.contains("# experiment: demo | histogram: latency distribution (ns)"),
+            "{csv}"
+        );
+        assert!(csv.contains("bin_lo,bin_hi,count"), "{csv}");
+        assert!(csv.contains("1000000,4000000,3"), "{csv}");
+        let json = render(std::slice::from_ref(&o), Format::Json);
+        assert!(json.contains("\"histograms\""), "{json}");
+        assert!(json.contains("\"counts\""), "{json}");
+        serde_json::from_str(&json).expect("valid JSON");
     }
 
     #[test]

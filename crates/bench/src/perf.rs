@@ -5,8 +5,9 @@
 //! process — once on the optimized path (shared [`pim_core::EvalCache`],
 //! red-black SOR thermal solver) and once on the baseline path (cache
 //! bypassed, the seed's reference Gauss-Seidel solver) — plus solver and
-//! DES micro-benchmarks, and writes the result as JSON (`BENCH_5.json`
-//! at the repo root is the committed baseline of this PR). Future PRs
+//! DES and serving micro-benchmarks, and writes the result as JSON
+//! (`BENCH_6.json` at the repo root is the committed baseline of this
+//! PR). Future PRs
 //! append `BENCH_<n>.json` files, giving every change a comparable,
 //! scripted perf record instead of hand-waved claims.
 //!
@@ -16,7 +17,9 @@
 
 use std::time::Instant;
 
-use pim_core::{experiments, CacheStats, RunContext, Scenario, ScenarioError};
+use pim_core::{
+    experiments, simulate_serving, CacheStats, RunContext, Scenario, ScenarioError, ServingSpec,
+};
 use serde::Serialize;
 use thermal::{solve_red_black, solve_reference, PowerMap, Solver, ThermalConfig};
 use topology::{mesh2d, HwParams, NodeId};
@@ -84,6 +87,25 @@ pub struct DesMicro {
     pub simulate_ms: f64,
 }
 
+/// Serving-simulator micro-benchmark: a saturated multi-tenant stream
+/// over a chip fleet, long enough that the calendar-queue event loop
+/// processes upwards of a million events.
+#[derive(Clone, Debug, Serialize)]
+pub struct ServingMicro {
+    /// Chips in the fleet.
+    pub fleet: usize,
+    /// Simulated horizon, milliseconds.
+    pub horizon_ms: f64,
+    /// Requests generated over the horizon.
+    pub requests: u64,
+    /// Calendar-queue events processed across the fleet.
+    pub events: u64,
+    /// Wall time of the whole sweep, milliseconds.
+    pub simulate_ms: f64,
+    /// Event-loop throughput, events per second.
+    pub events_per_sec: f64,
+}
+
 /// Evaluation-cache counters of the optimized pass.
 #[derive(Clone, Debug, Serialize)]
 pub struct CacheSummary {
@@ -98,7 +120,7 @@ pub struct CacheSummary {
 pub struct PerfReport {
     /// Schema tag for downstream tooling.
     pub schema: &'static str,
-    /// The PR number this baseline belongs to (`BENCH_5.json`).
+    /// The PR number this baseline belongs to (`BENCH_6.json`).
     pub bench_pr: u32,
     /// Whether the quick (CI) scenario was used.
     pub quick: bool,
@@ -115,6 +137,8 @@ pub struct PerfReport {
     pub solver: SolverMicro,
     /// DES scheduler micro-counters.
     pub des: DesMicro,
+    /// Serving event-loop micro-benchmark (calendar-queue throughput).
+    pub serving: ServingMicro,
     /// Evaluation-cache traffic of the optimized pass.
     pub cache: CacheSummary,
 }
@@ -218,6 +242,38 @@ fn des_micro() -> DesMicro {
     }
 }
 
+/// The M1/M9/M13 single-request PIM latencies (ns) pinned for the
+/// serving micro, so its wall time measures the event loop, not model
+/// construction.
+const SERVING_SERVICE_NS: [u64; 3] = [2_418_720, 544_080, 2_017_360];
+
+fn serving_micro(horizon_ms: f64, threads: usize) -> ServingMicro {
+    // A deliberately saturated fleet: rates 20× the golden default so a
+    // multi-second horizon pushes the calendar queue through ≥ 1M
+    // events (arrivals + batch completions + window closes).
+    let mut spec = ServingSpec {
+        fleet: 4,
+        horizon_ms,
+        queue_depth: 64,
+        loads: vec![1.0],
+        ..ServingSpec::default()
+    };
+    for tenant in &mut spec.tenants {
+        tenant.rate_rps *= 20.0;
+    }
+    let t = Instant::now();
+    let out = simulate_serving(&spec, &SERVING_SERVICE_NS, 0x5E41, threads);
+    let simulate_ms = ms(t);
+    ServingMicro {
+        fleet: spec.fleet,
+        horizon_ms,
+        requests: out.requests,
+        events: out.events,
+        simulate_ms,
+        events_per_sec: out.events as f64 / (simulate_ms / 1e3).max(f64::MIN_POSITIVE),
+    }
+}
+
 /// Runs the full harness.
 ///
 /// # Errors
@@ -264,7 +320,7 @@ pub fn run(quick: bool) -> Result<PerfReport, ScenarioError> {
 
     Ok(PerfReport {
         schema: "pim-bench-perf-v1",
-        bench_pr: 5,
+        bench_pr: 6,
         quick,
         threads,
         experiments,
@@ -276,6 +332,8 @@ pub fn run(quick: bool) -> Result<PerfReport, ScenarioError> {
         thermal_experiments,
         solver: solver_micro(),
         des: des_micro(),
+        // ≥ 1M events either way; --quick only trims the horizon.
+        serving: serving_micro(if quick { 30_000.0 } else { 60_000.0 }, threads),
         cache,
     })
 }
@@ -312,6 +370,14 @@ impl PerfReport {
             "DES funnel: {} packets, {} heap events, {} wait cycles\n",
             self.des.packets, self.des.heap_events, self.des.total_channel_wait_cycles
         ));
+        out.push_str(&format!(
+            "serving fleet ({} chips, {:.0} s horizon): {} events in {:.0} ms = {:.2}M events/s\n",
+            self.serving.fleet,
+            self.serving.horizon_ms / 1e3,
+            self.serving.events,
+            self.serving.simulate_ms,
+            self.serving.events_per_sec / 1e6,
+        ));
         out
     }
 
@@ -339,6 +405,17 @@ mod tests {
         assert_eq!(des.flows, 24);
         assert!(des.packets > 0 && des.heap_events > 0);
         assert!(des.total_channel_wait_cycles > 0, "the funnel must contend");
+    }
+
+    #[test]
+    fn serving_micro_scales_events_with_the_horizon() {
+        // A short probe horizon keeps the debug-mode test cheap; the
+        // real harness runs 30-60 s and clears 1M events.
+        let m = serving_micro(500.0, 2);
+        assert_eq!(m.fleet, 4);
+        assert!(m.requests > 10_000, "{} requests", m.requests);
+        assert!(m.events >= m.requests);
+        assert!(m.events_per_sec > 0.0);
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Golden-file snapshot tests for the `pim-bench` CLI: the `table1`,
-//! `fig3` and `dataflows` outputs (table and JSON formats) are pinned
-//! byte-for-byte under `tests/golden/`. The numeric rows were verified
-//! identical to the pre-redesign per-figure binaries when the goldens
-//! were first recorded, so these snapshots carry that equivalence
-//! forward.
+//! `fig3`, `dataflows` and `serving` outputs (table and JSON formats)
+//! are pinned byte-for-byte under `tests/golden/`. The numeric rows
+//! were verified identical to the pre-redesign per-figure binaries when
+//! the goldens were first recorded, so these snapshots carry that
+//! equivalence forward.
 //!
 //! Regenerate after an intentional change with:
 //!
@@ -72,10 +72,42 @@ fn dataflows_json_format_is_pinned() {
 }
 
 #[test]
+fn serving_table_format_is_pinned() {
+    assert_golden(&["run", "serving"], "serving.table.txt");
+}
+
+#[test]
+fn serving_json_format_is_pinned() {
+    assert_golden(&["run", "serving", "--format", "json"], "serving.json");
+}
+
+#[test]
+fn serving_output_is_thread_count_independent() {
+    // The fleet shards across worker threads; the merged output must be
+    // byte-identical at 1, 4 and 8 workers (the determinism contract of
+    // the serving pipeline).
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        return; // the golden is being rewritten concurrently by the pin test
+    }
+    let expected = std::fs::read_to_string(golden_dir().join("serving.table.txt"))
+        .expect("serving golden present (run UPDATE_GOLDEN=1 first)");
+    for threads in ["1", "4", "8"] {
+        let got = run_cli(&["run", "serving", "--threads", threads]);
+        assert_eq!(
+            got, expected,
+            "serving output drifted at --threads {threads}"
+        );
+    }
+}
+
+#[test]
 fn fig3_output_is_thread_count_independent() {
     // The golden was recorded at the default worker count; one worker
     // must reproduce it byte-for-byte (the engine determinism contract,
     // now visible at the CLI boundary).
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        return; // the golden is being rewritten concurrently by the pin test
+    }
     let single = run_cli(&["run", "fig3", "--threads", "1"]);
     let expected = std::fs::read_to_string(golden_dir().join("fig3.table.txt"))
         .expect("fig3 golden present (run UPDATE_GOLDEN=1 first)");

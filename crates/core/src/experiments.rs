@@ -12,7 +12,7 @@ use dnn::{
     build_model, lifetime_inferences, storage_sweep, table1, table2, BertConfig, Dataset,
     ModelKind, SegmentGraph, StorageRow, Table1Entry, Workload,
 };
-use mapper::{run_poisson, ArrivalConfig, GreedyConfig, Strategy};
+use mapper::{run_poisson, ArrivalConfig};
 use netsim::{
     analyze, analyze_with_table, generate_pattern, generate_pipeline, simulate_with_table,
     SimConfig, TrafficPattern,
@@ -28,8 +28,10 @@ use crate::hetero::{transformer_design_points, HeteroConfig};
 use crate::platform25::{Platform25D, WorkloadReport};
 use crate::platform3d::{PlacementEval, Platform3D};
 use crate::scenario::{
-    Column, ExperimentOutput, ExperimentRegistry, ExperimentSpec, RunContext, ScenarioError, Table,
+    CellValue, Column, ExperimentOutput, ExperimentRegistry, ExperimentSpec, Histogram, RunContext,
+    ScenarioError, Table,
 };
+use crate::serving::simulate_serving;
 use crate::sweep::{default_threads, parallel_map, SweepRunner};
 
 /// Table I row: paper's printed parameter count next to ours.
@@ -403,7 +405,7 @@ pub fn registry() -> &'static ExperimentRegistry {
     static REGISTRY: OnceLock<ExperimentRegistry> = OnceLock::new();
     REGISTRY.get_or_init(|| {
         let mut reg = ExperimentRegistry::new();
-        let specs: [(&'static str, &'static str, crate::scenario::RunFn); 19] = [
+        let specs: [(&'static str, &'static str, crate::scenario::RunFn); 20] = [
             (
                 "table1",
                 "Table I: the thirteen DNN workloads, paper-printed vs computed parameters",
@@ -483,6 +485,12 @@ pub fn registry() -> &'static ExperimentRegistry {
                 "faults",
                 "Fault-injection ablation: SFC re-stitching over dead chiplets",
                 run_faults,
+            ),
+            (
+                "serving",
+                "Datacenter serving: multi-tenant request streams over a chip fleet, \
+                 latency percentiles and SLO attainment vs offered load",
+                run_serving_experiment,
             ),
             (
                 "pareto",
@@ -1243,10 +1251,9 @@ fn run_poisson_experiment(ctx: &RunContext) -> Result<ExperimentOutput, Scenario
             seed: s.seed_or(0xA221),
         };
         for platform in runner.platforms() {
-            let strategy = match platform.layout() {
-                Some(layout) => Strategy::sfc(layout),
-                None => Strategy::greedy(platform.topology(), GreedyConfig::soft()),
-            };
+            // The strategy axis: paper default per architecture, or the
+            // scenario's forced `--strategy` selection.
+            let strategy = platform.strategy_for(s.strategy, true)?;
             let o = run_poisson(
                 &graphs,
                 s.cfg25.node_count(),
@@ -1268,6 +1275,114 @@ fn run_poisson_experiment(ctx: &RunContext) -> Result<ExperimentOutput, Scenario
     out.notes.push(
         "Higher offered load raises utilization and admission waits; the SFC mapping \
          sustains the same load with contiguous placements throughout."
+            .to_string(),
+    );
+    Ok(out)
+}
+
+fn run_serving_experiment(ctx: &RunContext) -> Result<ExperimentOutput, ScenarioError> {
+    let s = ctx.scenario();
+    let spec = s.serving.clone().unwrap_or_default();
+    // `resolve()` validates an explicit block; the default is validated
+    // here so a future default regression cannot slip through.
+    spec.validate().map_err(ScenarioError::Serving)?;
+
+    // Per-tenant single-request service latency from the PIM compute
+    // cost model under the scenario's first dataflow.
+    let dataflow = s.dataflows[0];
+    let service_ns: Vec<u64> = spec
+        .tenants
+        .iter()
+        .map(|t| {
+            let e = dnn::table1_entry(&t.model).expect("resolve() validated tenant models");
+            let g = build_model(e.kind, e.dataset).expect("table models build");
+            let sg = SegmentGraph::from_layer_graph(&g);
+            let cost = pim::model_cost_with(&sg, &s.cfg25.pim, dataflow);
+            (cost.latency_ns.round() as u64).max(1)
+        })
+        .collect();
+
+    let outcome = simulate_serving(&spec, &service_ns, s.seed_or(0x5E41), s.threads);
+
+    let mut out = ExperimentOutput::new("serving", "");
+    let mut lat = Table::new(
+        &format!(
+            "Serving latency vs offered load ({} chips, {} tenants, {} ms horizon)",
+            spec.fleet,
+            spec.tenants.len(),
+            spec.horizon_ms
+        ),
+        vec![
+            Column::float("load", 2),
+            Column::float("offered rps", 0),
+            Column::uint("requests"),
+            Column::uint("completed"),
+            Column::uint("rejected"),
+            Column::percentile("p50"),
+            Column::percentile("p95"),
+            Column::percentile("p99"),
+            Column::float("slo attain", 4),
+            Column::float("mean batch", 2),
+        ],
+    );
+    let mut util = Table::new(
+        "Per-chip utilization over time (busy fraction per horizon quarter)",
+        vec![
+            Column::float("load", 2),
+            Column::uint("chip"),
+            Column::float("q1", 3),
+            Column::float("q2", 3),
+            Column::float("q3", 3),
+            Column::float("q4", 3),
+        ],
+    );
+    let slo_ns = spec.slo_ms * 1e6;
+    for lp in &outcome.per_load {
+        lat.push(vec![
+            CellValue::Float(lp.load),
+            CellValue::Float(lp.offered_rps),
+            CellValue::UInt(lp.offered),
+            CellValue::UInt(lp.completed),
+            CellValue::UInt(lp.rejected),
+            CellValue::Duration(lp.p50_ns as f64),
+            CellValue::Duration(lp.p95_ns as f64),
+            CellValue::Duration(lp.p99_ns as f64),
+            CellValue::Float(lp.slo_attainment),
+            CellValue::Float(lp.mean_batch),
+        ]);
+        for (chip, slices) in lp.chip_util.iter().enumerate() {
+            let mut row = vec![CellValue::Float(lp.load), CellValue::UInt(chip as u64)];
+            row.extend(slices.iter().map(|&u| CellValue::Float(u)));
+            util.push(row);
+        }
+        let mut h = Histogram::new(
+            &format!("End-to-end latency distribution at load {:.2}", lp.load),
+            "ns",
+            vec![
+                0.0,
+                slo_ns / 4.0,
+                slo_ns / 2.0,
+                slo_ns,
+                2.0 * slo_ns,
+                4.0 * slo_ns,
+                8.0 * slo_ns,
+            ],
+        );
+        for &l in &lp.latencies_ns {
+            h.record(l as f64);
+        }
+        out.histograms.push(h);
+    }
+    out.tables.push(lat);
+    out.tables.push(util);
+    out.notes.push(format!(
+        "{} requests, {} calendar-queue events across the fleet; SLO {} ms; rejections \
+         count against attainment.",
+        outcome.requests, outcome.events, spec.slo_ms
+    ));
+    out.notes.push(
+        "Deterministic at any thread count: streams are seeded per (tenant, load), chips \
+         simulate disjoint shards, and results merge in (load, chip) order."
             .to_string(),
     );
     Ok(out)
@@ -1566,7 +1681,7 @@ mod tests {
     #[test]
     fn registry_covers_every_paper_artifact() {
         let names = registry().names();
-        assert_eq!(names.len(), 19);
+        assert_eq!(names.len(), 20);
         for expected in [
             "table1",
             "table2",
@@ -1584,6 +1699,7 @@ mod tests {
             "patterns",
             "poisson",
             "faults",
+            "serving",
             "pareto",
             "ablation_kite",
             "ablation_thermal",
@@ -1620,6 +1736,21 @@ mod tests {
                     table.title
                 );
             }
+        }
+    }
+
+    #[test]
+    fn serving_experiment_reports_percentiles_and_slo() {
+        use crate::scenario::Scenario;
+        let out = registry().run_scenario(&Scenario::new("serving")).unwrap();
+        out.validate().unwrap();
+        assert_eq!(out.tables.len(), 2);
+        // Two offered-load points on the default 2-chip fleet.
+        assert_eq!(out.tables[0].rows.len(), 2);
+        assert_eq!(out.tables[1].rows.len(), 4);
+        assert_eq!(out.histograms.len(), 2);
+        for h in &out.histograms {
+            assert!(h.total() > 0, "histogram `{}` is empty", h.title);
         }
     }
 

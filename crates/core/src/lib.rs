@@ -48,6 +48,7 @@ pub mod hetero;
 mod platform25;
 mod platform3d;
 pub mod scenario;
+pub mod serving;
 pub mod sweep;
 
 pub use arch::NoiArch;
@@ -55,7 +56,10 @@ pub use config::{ConfigError, SystemConfig, SystemConfigBuilder};
 pub use platform25::{Platform25D, WorkloadReport};
 pub use platform3d::{ParetoPoint, PlacementEval, Platform3D};
 pub use scenario::{
-    CellValue, Column, ColumnType, ExperimentOutput, ExperimentRegistry, ExperimentSpec,
+    CellValue, Column, ColumnType, ExperimentOutput, ExperimentRegistry, ExperimentSpec, Histogram,
     ResolvedScenario, RunContext, Scenario, ScenarioError, Table,
+};
+pub use serving::{
+    simulate_serving, LoadPointOutcome, ServingOutcome, ServingSpec, TenantSpec, UTIL_SLICES,
 };
 pub use sweep::{default_threads, parallel_map, CacheStats, EvalCache, SweepRunner};

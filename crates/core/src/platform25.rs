@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 use dnn::{build_model, Dataflow, SegmentGraph, Workload};
 use mapper::{
     placement_transfers, run_churn, run_queue, transfers_for_batch, ChurnOutcome, QueueOutcome,
-    Strategy,
+    Strategy, StrategyKind,
 };
 use netsim::{analyze_with_table, sample_flows, simulate_with_table, Flow, RouteTable, SimConfig};
 use serde::{Deserialize, Serialize};
@@ -14,6 +14,7 @@ use topology::{FloretLayout, Topology, TopologyError, TopologySummary};
 
 use crate::arch::NoiArch;
 use crate::config::SystemConfig;
+use crate::scenario::ScenarioError;
 
 /// A 2.5D PIM chiplet system with a fixed NoI architecture.
 ///
@@ -176,6 +177,41 @@ impl Platform25D {
                     self.arch.greedy_config()
                 };
                 Strategy::greedy(&self.topo, cfg)
+            }
+        }
+    }
+
+    /// Resolves a scenario's mapping-strategy selection against this
+    /// platform: `None` keeps the per-architecture paper default (SFC
+    /// where a chiplet layout exists, greedy otherwise); an explicit
+    /// [`StrategyKind`] forces that strategy. `soft` selects the relaxed
+    /// greedy contiguity config (see [`Platform25D::map_workload_churn`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Strategy`] when `sfc` is forced on an
+    /// architecture without a chiplet layout.
+    pub fn strategy_for(
+        &self,
+        kind: Option<StrategyKind>,
+        soft: bool,
+    ) -> Result<Strategy<'_>, ScenarioError> {
+        match kind {
+            None => Ok(self.strategy(soft)),
+            Some(StrategyKind::Sfc) => match &self.layout {
+                Some(layout) => Ok(Strategy::sfc(layout)),
+                None => Err(ScenarioError::Strategy(format!(
+                    "strategy `sfc` needs a chiplet layout, but {} has none (use `greedy`)",
+                    self.arch_name()
+                ))),
+            },
+            Some(StrategyKind::Greedy) => {
+                let cfg = if soft {
+                    mapper::GreedyConfig::soft()
+                } else {
+                    self.arch.greedy_config()
+                };
+                Ok(Strategy::greedy(&self.topo, cfg))
             }
         }
     }

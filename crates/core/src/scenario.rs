@@ -41,11 +41,13 @@ use std::cell::OnceCell;
 use std::fmt;
 
 use dnn::{Dataflow, Workload};
+use mapper::StrategyKind;
 use serde::{Deserialize, Serialize};
 use topology::TopologyError;
 
 use crate::arch::NoiArch;
 use crate::config::{ConfigError, SystemConfig};
+use crate::serving::ServingSpec;
 use crate::sweep::{default_threads, CacheStats, SweepRunner};
 
 /// A declarative experiment specification: *which* artifact to
@@ -77,6 +79,14 @@ pub struct Scenario {
     /// Poisson arrivals, annealing, NSGA-II); `None` = the paper-pinned
     /// defaults.
     pub seed: Option<u64>,
+    /// Mapping-strategy override for experiments that place tasks;
+    /// `None` = each experiment's paper default (SFC where a chiplet
+    /// layout exists, greedy otherwise).
+    pub strategy: Option<StrategyKind>,
+    /// Typed serving-scenario block for the `serving` experiment;
+    /// `None` = [`ServingSpec::default`]. Validated by
+    /// [`Scenario::resolve`].
+    pub serving: Option<ServingSpec>,
 }
 
 impl Scenario {
@@ -91,6 +101,8 @@ impl Scenario {
             overrides: Vec::new(),
             threads: None,
             seed: None,
+            strategy: None,
+            serving: None,
         }
     }
 
@@ -102,8 +114,13 @@ impl Scenario {
     ///
     /// [`ScenarioError::UnknownWorkload`] for a name outside Table II,
     /// [`ScenarioError::Config`] when an override is unknown, fails to
-    /// parse, or produces a degenerate config.
+    /// parse, or produces a degenerate config,
+    /// [`ScenarioError::Serving`] when the serving block is structurally
+    /// invalid.
     pub fn resolve(&self) -> Result<ResolvedScenario, ScenarioError> {
+        if let Some(spec) = &self.serving {
+            spec.validate().map_err(ScenarioError::Serving)?;
+        }
         let archs = if self.archs.is_empty() {
             NoiArch::all()
         } else {
@@ -138,6 +155,8 @@ impl Scenario {
             cfg3d: apply(SystemConfig::stacked_3d())?,
             threads: self.threads.unwrap_or_else(default_threads).max(1),
             seed: self.seed,
+            strategy: self.strategy,
+            serving: self.serving.clone(),
         })
     }
 }
@@ -163,6 +182,11 @@ pub struct ResolvedScenario {
     pub threads: usize,
     /// Seed override for stochastic components; `None` = paper defaults.
     pub seed: Option<u64>,
+    /// Mapping-strategy override; `None` = per-experiment paper default.
+    pub strategy: Option<StrategyKind>,
+    /// Validated serving block; `None` = [`ServingSpec::default`] for
+    /// the `serving` experiment, unused elsewhere.
+    pub serving: Option<ServingSpec>,
 }
 
 impl ResolvedScenario {
@@ -192,6 +216,12 @@ pub enum ScenarioError {
     Config(ConfigError),
     /// The overridden config produced an unbuildable topology.
     Topology(TopologyError),
+    /// The serving block is structurally invalid (bad fleet, loads,
+    /// tenant model, ...).
+    Serving(String),
+    /// A forced mapping strategy cannot apply to the selected
+    /// architecture.
+    Strategy(String),
 }
 
 impl fmt::Display for ScenarioError {
@@ -205,6 +235,8 @@ impl fmt::Display for ScenarioError {
             }
             ScenarioError::Config(e) => write!(f, "invalid config: {e}"),
             ScenarioError::Topology(e) => write!(f, "topology build failed: {e}"),
+            ScenarioError::Serving(msg) => write!(f, "invalid serving spec: {msg}"),
+            ScenarioError::Strategy(msg) => write!(f, "invalid strategy: {msg}"),
         }
     }
 }
@@ -234,6 +266,9 @@ pub enum CellValue {
     Int(i64),
     /// A measurement (also used by ratio columns).
     Float(f64),
+    /// A time span in nanoseconds; tables render it humanized
+    /// (`ns`/`µs`/`ms`/`s`), JSON and CSV keep the raw nanosecond value.
+    Duration(f64),
 }
 
 impl From<&str> for CellValue {
@@ -282,6 +317,7 @@ impl CellValue {
                 | (CellValue::Int(_), ColumnType::Int)
                 | (CellValue::Float(_), ColumnType::Float { .. })
                 | (CellValue::Float(_), ColumnType::Ratio)
+                | (CellValue::Duration(_), ColumnType::Duration)
         )
     }
 }
@@ -305,6 +341,9 @@ pub enum ColumnType {
     /// A ratio rendered `x.xx×`-style (`"1.32x"`) in tables, raw `f64`
     /// in JSON/CSV.
     Ratio,
+    /// A nanosecond time span, humanized in tables (`1.234 ms`), raw
+    /// nanoseconds in JSON/CSV.
+    Duration,
 }
 
 /// One column of an experiment table: name plus [`ColumnType`].
@@ -369,6 +408,20 @@ impl Column {
             name: name.to_string(),
             ty: ColumnType::Ratio,
         }
+    }
+
+    /// A duration column (nanoseconds, humanized in tables).
+    pub fn duration(name: &str) -> Column {
+        Column {
+            name: name.to_string(),
+            ty: ColumnType::Duration,
+        }
+    }
+
+    /// A latency-percentile column: a [`ColumnType::Duration`] column
+    /// conventionally named `p50`/`p95`/`p99`.
+    pub fn percentile(name: &str) -> Column {
+        Column::duration(name)
     }
 }
 
@@ -439,10 +492,81 @@ impl Table {
     }
 }
 
-/// The uniform result of running one experiment: tables plus free-form
-/// notes (the commentary the old binaries printed after their tables).
-/// Rendering to table/JSON/CSV lives in `pim_bench::output`; this type
-/// is format-free.
+/// A titled distribution section of an [`ExperimentOutput`]: fixed bin
+/// edges plus counts. All three `pim_bench::output` formats render it —
+/// ASCII bars in tables, structured arrays in JSON, bin rows in CSV.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Section title.
+    pub title: String,
+    /// Unit label of the binned quantity (e.g. `"ns"`).
+    pub unit: String,
+    /// Ascending bin edges; `edges.len() == counts.len() + 1`. Samples
+    /// outside the range clamp into the first/last bin.
+    pub edges: Vec<f64>,
+    /// Sample count per bin.
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// An empty histogram over the given ascending bin edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two edges or non-ascending edges.
+    pub fn new(title: &str, unit: &str, edges: Vec<f64>) -> Histogram {
+        assert!(edges.len() >= 2, "histogram `{title}` needs ≥ 2 edges");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram `{title}` edges must be strictly ascending"
+        );
+        let bins = edges.len() - 1;
+        Histogram {
+            title: title.to_string(),
+            unit: unit.to_string(),
+            edges,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Records one sample, clamping out-of-range values into the
+    /// first/last bin.
+    pub fn record(&mut self, value: f64) {
+        let bins = self.counts.len();
+        // First edge ≤ value < next edge; partition_point gives the
+        // count of edges ≤ value.
+        let idx = self.edges.partition_point(|&e| e <= value);
+        self.counts[idx.saturating_sub(1).min(bins - 1)] += 1;
+    }
+
+    /// Total recorded samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Checks the edge/count arity invariant.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the mismatch.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.edges.len() != self.counts.len() + 1 {
+            return Err(format!(
+                "histogram `{}`: {} edges for {} bins",
+                self.title,
+                self.edges.len(),
+                self.counts.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The uniform result of running one experiment: tables, optional
+/// distribution histograms, plus free-form notes (the commentary the
+/// old binaries printed after their tables). Rendering to
+/// table/JSON/CSV lives in `pim_bench::output`; this type is
+/// format-free.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentOutput {
     /// Registry name of the experiment that produced this.
@@ -451,6 +575,8 @@ pub struct ExperimentOutput {
     pub description: String,
     /// Result tables, in presentation order.
     pub tables: Vec<Table>,
+    /// Distribution sections, rendered after the tables.
+    pub histograms: Vec<Histogram>,
     /// Commentary and context lines.
     pub notes: Vec<String>,
 }
@@ -462,17 +588,20 @@ impl ExperimentOutput {
             experiment: experiment.to_string(),
             description: description.to_string(),
             tables: Vec::new(),
+            histograms: Vec::new(),
             notes: Vec::new(),
         }
     }
 
-    /// Validates every table against its schema.
+    /// Validates every table against its schema and every histogram's
+    /// arity invariant.
     ///
     /// # Errors
     ///
     /// The first schema mismatch, as text.
     pub fn validate(&self) -> Result<(), String> {
-        self.tables.iter().try_for_each(Table::validate)
+        self.tables.iter().try_for_each(Table::validate)?;
+        self.histograms.iter().try_for_each(Histogram::validate)
     }
 }
 
@@ -770,5 +899,93 @@ mod tests {
         assert!(json.contains("Floret"), "{json}");
         // The spec is valid JSON end to end.
         serde_json::from_str(&json).unwrap();
+    }
+
+    #[test]
+    fn serving_scenario_round_trips_through_json() {
+        let mut s = Scenario::new("serving");
+        s.serving = Some(ServingSpec::default());
+        s.strategy = Some(StrategyKind::Greedy);
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"experiment\":\"serving\""), "{json}");
+        assert!(json.contains("\"fleet\":2"), "{json}");
+        assert!(json.contains("Bursty"), "{json}");
+        assert!(json.contains("Diurnal"), "{json}");
+        assert!(json.contains("Greedy"), "{json}");
+        // Valid JSON end to end, with the typed block nested intact.
+        serde_json::from_str(&json).unwrap();
+    }
+
+    #[test]
+    fn invalid_serving_blocks_are_rejected_at_resolve() {
+        let mut s = Scenario::new("serving");
+        let mut spec = ServingSpec::default();
+        spec.tenants[0].model = "M42".into();
+        s.serving = Some(spec);
+        match s.resolve().unwrap_err() {
+            ScenarioError::Serving(msg) => assert!(msg.contains("M42"), "{msg}"),
+            other => panic!("expected Serving error, got {other:?}"),
+        }
+        let mut s = Scenario::new("serving");
+        s.serving = Some(ServingSpec {
+            loads: Vec::new(),
+            ..ServingSpec::default()
+        });
+        assert!(matches!(
+            s.resolve().unwrap_err(),
+            ScenarioError::Serving(_)
+        ));
+        // The resolved scenario carries the block and strategy through.
+        let mut s = Scenario::new("serving");
+        s.serving = Some(ServingSpec::default());
+        s.strategy = Some(StrategyKind::Sfc);
+        let r = s.resolve().unwrap();
+        assert_eq!(r.serving, Some(ServingSpec::default()));
+        assert_eq!(r.strategy, Some(StrategyKind::Sfc));
+    }
+
+    #[test]
+    fn duration_cells_match_only_duration_columns() {
+        assert!(CellValue::Duration(5.0).matches(&ColumnType::Duration));
+        assert!(!CellValue::Duration(5.0).matches(&ColumnType::Float {
+            precision: 2,
+            scientific: false
+        }));
+        assert!(!CellValue::Float(5.0).matches(&ColumnType::Duration));
+        let mut t = Table::new(
+            "lat",
+            vec![Column::percentile("p50"), Column::duration("p99")],
+        );
+        t.push(vec![
+            CellValue::Duration(1_000.0),
+            CellValue::Duration(2_000.0),
+        ]);
+        assert!(t.validate().is_ok());
+        t.rows
+            .push(vec![CellValue::Float(1.0), CellValue::Duration(2.0)]);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn histogram_records_with_edge_clamping() {
+        let mut h = Histogram::new("lat", "ns", vec![0.0, 10.0, 20.0, 40.0]);
+        h.record(-5.0); // clamps into the first bin
+        h.record(0.0);
+        h.record(9.9);
+        h.record(10.0);
+        h.record(39.9);
+        h.record(40.0); // clamps into the last bin
+        h.record(1e9); // clamps into the last bin
+        assert_eq!(h.counts, vec![3, 1, 3]);
+        assert_eq!(h.total(), 7);
+        assert!(h.validate().is_ok());
+        h.counts.pop();
+        assert!(h.validate().unwrap_err().contains("edges"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn histogram_rejects_unsorted_edges() {
+        Histogram::new("bad", "ns", vec![0.0, 5.0, 5.0]);
     }
 }

@@ -32,11 +32,14 @@ mod scheduler;
 mod sfc;
 mod transfers;
 
-pub use arrivals::{run_poisson, ArrivalConfig, ServiceOutcome};
+pub use arrivals::{
+    run_poisson, run_service, sample_arrivals, ArrivalConfig, ArrivalProcess, ServiceOutcome,
+};
 pub use greedy::{map_task_greedy, GreedyConfig};
 pub use placement::{CapacityLedger, MapError, NodeShare, SegmentPlacement, TaskId, TaskPlacement};
 pub use scheduler::{
-    run_churn, run_churn_with_ledger, run_queue, ChurnOutcome, QueueOutcome, Strategy, Wave,
+    run_churn, run_churn_with_ledger, run_queue, ChurnOutcome, QueueOutcome, Strategy,
+    StrategyKind, Wave,
 };
 pub use sfc::{contiguity_score, map_task_sfc, sfc_order};
 pub use transfers::{

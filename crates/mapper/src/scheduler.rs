@@ -15,6 +15,58 @@ use crate::greedy::{map_task_greedy, GreedyConfig};
 use crate::placement::{CapacityLedger, MapError, TaskId, TaskPlacement};
 use crate::sfc::{map_task_sfc, map_task_sfc_from};
 
+/// Named mapping-strategy axis: which [`Strategy`] family to build,
+/// independent of the borrowed layout/topology it runs over.
+///
+/// This is the value that travels through scenario specs and the
+/// `pim-bench --strategy` flag (mirroring `NoiArch::from_name`); the
+/// platform layer turns it into a concrete [`Strategy`] instance.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// Dataflow-aware SFC mapping along a Floret global order.
+    Sfc,
+    /// Greedy nearest-hop baseline over an arbitrary topology.
+    Greedy,
+}
+
+impl StrategyKind {
+    /// Every strategy kind, in canonical order.
+    pub fn all() -> [StrategyKind; 2] {
+        [StrategyKind::Sfc, StrategyKind::Greedy]
+    }
+
+    /// Canonical lowercase name (the inverse of [`StrategyKind::from_name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::Sfc => "sfc",
+            StrategyKind::Greedy => "greedy",
+        }
+    }
+
+    /// Parses a case-insensitive strategy name (`sfc`, `greedy`).
+    pub fn from_name(name: &str) -> Option<StrategyKind> {
+        let canonical = name.to_ascii_lowercase();
+        StrategyKind::all()
+            .into_iter()
+            .find(|k| k.name() == canonical)
+    }
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for StrategyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        StrategyKind::from_name(s)
+            .ok_or_else(|| format!("unknown strategy `{s}` (expected sfc or greedy)"))
+    }
+}
+
 /// Mapping strategy for the scheduler.
 #[derive(Clone, Debug)]
 pub enum Strategy<'a> {
@@ -48,6 +100,14 @@ impl<'a> Strategy<'a> {
             topo,
             apsp: topo.all_pairs_hops(),
             cfg,
+        }
+    }
+
+    /// The named kind of this strategy instance.
+    pub fn kind(&self) -> StrategyKind {
+        match self {
+            Strategy::Sfc { .. } => StrategyKind::Sfc,
+            Strategy::Greedy { .. } => StrategyKind::Greedy,
         }
     }
 
@@ -393,6 +453,32 @@ mod tests {
         assert!(
             score < 20.0,
             "late placements should stay near-contiguous, score {score}"
+        );
+    }
+
+    #[test]
+    fn strategy_kind_round_trips_and_rejects() {
+        for kind in StrategyKind::all() {
+            assert_eq!(StrategyKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.name().parse::<StrategyKind>(), Ok(kind));
+            assert_eq!(
+                kind.name().to_ascii_uppercase().parse::<StrategyKind>(),
+                Ok(kind)
+            );
+        }
+        assert!(StrategyKind::from_name("random").is_none());
+        let err = "random".parse::<StrategyKind>().unwrap_err();
+        assert!(err.contains("random"), "{err}");
+    }
+
+    #[test]
+    fn strategy_reports_its_kind() {
+        let (_, layout) = floret(4, 4, 2).unwrap();
+        assert_eq!(Strategy::sfc(&layout).kind(), StrategyKind::Sfc);
+        let topo = mesh2d(4, 4).unwrap();
+        assert_eq!(
+            Strategy::greedy(&topo, GreedyConfig { radius: 2 }).kind(),
+            StrategyKind::Greedy
         );
     }
 

@@ -11,17 +11,20 @@
 //! The event loop is wait-queue based: a packet whose header reaches a
 //! busy channel is parked once in that channel's FIFO queue and woken by
 //! a single channel-release event — there is no retry polling, so every
-//! packet costs one heap event per hop (plus its delivery event) and one
-//! wake per contended acquisition (`O(E log E)` total). Service order on a contended channel
-//! is strictly by header arrival time, and the simulation is fully
+//! packet costs one scheduler event per hop (plus its delivery event) and
+//! one wake per contended acquisition. Events are dispatched by a
+//! bucketed [`CalendarQueue`] (`O(E)` expected instead of the old
+//! `O(E log E)` heap) that preserves the heap's exact deterministic
+//! `(time, key)` dequeue order. Service order on a contended channel is
+//! strictly by header arrival time, and the simulation is fully
 //! deterministic.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 use topology::{HwParams, LinkId, NodeId, Topology};
 
+use crate::calendar::CalendarQueue;
 use crate::flow::Flow;
 use crate::routing::RouteTable;
 
@@ -78,37 +81,30 @@ enum EventKind {
     Header { seq: u32, hop: u16 },
 }
 
-#[derive(PartialEq, Eq)]
-struct Event {
-    time: u64,
-    kind: EventKind,
-}
-
 impl EventKind {
-    /// Deterministic secondary sort key: releases drain before new
-    /// arrivals at the same cycle (a header landing exactly when a
-    /// contended channel frees queues behind the earlier waiters).
-    fn order_key(&self) -> (u8, u32, u16) {
+    /// Packs the deterministic secondary sort key `(tag, id, hop)` into
+    /// one `u64` whose integer order equals the tuple order: releases
+    /// drain before new arrivals at the same cycle (a header landing
+    /// exactly when a contended channel frees queues behind the earlier
+    /// waiters). This is the event key fed to the [`CalendarQueue`].
+    fn order_key(&self) -> u64 {
         match *self {
-            EventKind::Free { ch } => (0, ch, 0),
-            EventKind::Header { seq, hop } => (1, seq, hop),
+            EventKind::Free { ch } => (ch as u64) << 16,
+            EventKind::Header { seq, hop } => (1u64 << 48) | ((seq as u64) << 16) | hop as u64,
         }
     }
-}
 
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap: earliest time first, then the deterministic key.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.kind.order_key().cmp(&self.kind.order_key()))
-    }
-}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+    /// Inverse of [`EventKind::order_key`].
+    fn from_order_key(key: u64) -> EventKind {
+        let id = ((key >> 16) & 0xFFFF_FFFF) as u32;
+        if key >> 48 == 0 {
+            EventKind::Free { ch: id }
+        } else {
+            EventKind::Header {
+                seq: id,
+                hop: (key & 0xFFFF) as u16,
+            }
+        }
     }
 }
 
@@ -223,7 +219,10 @@ fn build_packets(
 struct EngineState {
     busy_until: Vec<u64>,
     wait: Vec<VecDeque<Waiter>>,
-    heap: BinaryHeap<Event>,
+    /// Pending events, bucketed by time. Dequeues in exactly the same
+    /// `(time, order_key)` order as the binary heap it replaced; the
+    /// width matches the common per-hop header delay.
+    queue: CalendarQueue,
     stats: LoopStats,
 }
 
@@ -232,7 +231,7 @@ impl EngineState {
         EngineState {
             busy_until: vec![0u64; n_channels],
             wait: (0..n_channels).map(|_| VecDeque::new()).collect(),
-            heap: BinaryHeap::new(),
+            queue: CalendarQueue::new(8),
             stats: LoopStats::default(),
         }
     }
@@ -249,55 +248,56 @@ impl EngineState {
         self.stats.hop_latency_total += hop_latency;
         self.stats.hop_latency_max = self.stats.hop_latency_max.max(hop_latency);
         self.stats.wait_total += now - arrived;
-        self.heap.push(Event {
-            time: header_arrives,
-            kind: EventKind::Header { seq, hop: hop + 1 },
-        });
+        self.queue.push(
+            header_arrives,
+            EventKind::Header { seq, hop: hop + 1 }.order_key(),
+        );
     }
 }
 
 fn run_event_loop(packets: &mut [Packet], n_channels: usize) -> LoopStats {
     let mut st = EngineState::new(n_channels);
     for seq in 0..packets.len() {
-        st.heap.push(Event {
-            time: 0,
-            kind: EventKind::Header {
+        st.queue.push(
+            0,
+            EventKind::Header {
                 seq: seq as u32,
                 hop: 0,
-            },
-        });
+            }
+            .order_key(),
+        );
     }
     let mut delivered = 0usize;
 
-    while let Some(ev) = st.heap.pop() {
+    while let Some((time, key)) = st.queue.pop() {
         st.stats.heap_events += 1;
-        match ev.kind {
+        match EventKind::from_order_key(key) {
             EventKind::Header { seq, hop } => {
                 let p = &packets[seq as usize];
                 if hop as usize >= p.channels.len() {
                     // Tail drains one serialization window after the
                     // header lands.
                     let ser = p.ser_cycles;
-                    packets[seq as usize].delivered_at = ev.time + ser;
+                    packets[seq as usize].delivered_at = time + ser;
                     delivered += 1;
                     continue;
                 }
                 let ch = p.channels[hop as usize] as usize;
-                if st.busy_until[ch] <= ev.time && st.wait[ch].is_empty() {
-                    st.acquire(&packets[seq as usize], seq, hop, ev.time, ev.time);
+                if st.busy_until[ch] <= time && st.wait[ch].is_empty() {
+                    st.acquire(&packets[seq as usize], seq, hop, time, time);
                 } else {
                     // Park once; the first waiter arms the channel's
                     // release event.
                     if st.wait[ch].is_empty() {
-                        st.heap.push(Event {
-                            time: st.busy_until[ch],
-                            kind: EventKind::Free { ch: ch as u32 },
-                        });
+                        st.queue.push(
+                            st.busy_until[ch],
+                            EventKind::Free { ch: ch as u32 }.order_key(),
+                        );
                     }
                     st.wait[ch].push_back(Waiter {
                         seq,
                         hop,
-                        arrived: ev.time,
+                        arrived: time,
                     });
                 }
             }
@@ -305,12 +305,12 @@ fn run_event_loop(packets: &mut [Packet], n_channels: usize) -> LoopStats {
                 let w = st.wait[ch as usize]
                     .pop_front()
                     .expect("a Free event is only armed while waiters are parked");
-                st.acquire(&packets[w.seq as usize], w.seq, w.hop, ev.time, w.arrived);
+                st.acquire(&packets[w.seq as usize], w.seq, w.hop, time, w.arrived);
                 if !st.wait[ch as usize].is_empty() {
-                    st.heap.push(Event {
-                        time: st.busy_until[ch as usize],
-                        kind: EventKind::Free { ch },
-                    });
+                    st.queue.push(
+                        st.busy_until[ch as usize],
+                        EventKind::Free { ch }.order_key(),
+                    );
                 }
             }
         }
@@ -372,6 +372,8 @@ pub fn simulate_with_table(
 mod tests {
     use super::*;
     use crate::analytical::analyze;
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
     use topology::{mesh2d, Coord};
 
     fn mesh5() -> Topology {

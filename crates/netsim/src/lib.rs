@@ -31,12 +31,14 @@
 #![warn(missing_debug_implementations)]
 
 mod analytical;
+mod calendar;
 mod des;
 mod flow;
 mod patterns;
 mod routing;
 
 pub use analytical::{analyze, analyze_with_table, AnalyticalReport};
+pub use calendar::CalendarQueue;
 pub use des::{simulate, simulate_with_table, SimConfig, SimReport};
 pub use flow::{sample_flows, total_bytes, Flow};
 pub use patterns::{all_patterns, generate_pattern, generate_pipeline, TrafficPattern};

@@ -6,9 +6,14 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use netsim::{simulate_with_table, Flow, RouteTable, SimConfig};
 use topology::{kite, mesh2d, HwParams, NodeId};
+
+/// The allocation counter is process-global, so tests in this binary
+/// must not run concurrently with the counting window.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 /// System allocator wrapped with an allocation counter.
 struct CountingAlloc;
@@ -40,6 +45,7 @@ fn alloc_count() -> u64 {
 
 #[test]
 fn path_into_is_allocation_free_after_warmup() {
+    let _serial = SERIAL.lock().unwrap();
     let topo = mesh2d(8, 8).unwrap();
     let rt = RouteTable::build(&topo, &HwParams::default());
     let n = topo.node_count() as u32;
@@ -66,6 +72,7 @@ fn path_into_is_allocation_free_after_warmup() {
 
 #[test]
 fn path_into_matches_path_everywhere() {
+    let _serial = SERIAL.lock().unwrap();
     for topo in [mesh2d(6, 6).unwrap(), kite(6, 6).unwrap()] {
         let rt = RouteTable::build(&topo, &HwParams::default());
         let mut buf = Vec::new();
@@ -81,6 +88,7 @@ fn path_into_matches_path_everywhere() {
 
 #[test]
 fn buffer_reuse_preserves_packet_counts() {
+    let _serial = SERIAL.lock().unwrap();
     // The DES setup now routes through the shared scratch; its observable
     // output must be exactly what per-flow path vectors produced: one
     // packet per `packet_bytes` segment, identical full reports.

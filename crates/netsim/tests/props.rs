@@ -1,7 +1,7 @@
 //! Property-based tests of routing and simulation invariants across
 //! random topologies and traffic.
 
-use netsim::{analyze, simulate, Flow, RouteTable, SimConfig};
+use netsim::{analyze, simulate, CalendarQueue, Flow, RouteTable, SimConfig};
 use proptest::prelude::*;
 use topology::{floret, kite, mesh2d, HwParams, NodeId};
 
@@ -48,6 +48,34 @@ proptest! {
         let des = simulate(&topo, &hw, &flows, &SimConfig::default());
         prop_assert!(des.makespan_cycles >= ana.makespan_cycles);
         prop_assert!(des.flit_hops == ana.flit_hops);
+    }
+
+    /// The calendar queue must dequeue random event sets in exactly the
+    /// order a binary min-heap over `(time, key)` would — the event-loop
+    /// swap is only sound if the two disciplines agree on every tie.
+    #[test]
+    fn calendar_queue_matches_binary_heap_order(
+        raw in proptest::collection::vec(0u64..u64::MAX, 0..400),
+        width in 1u64..64,
+    ) {
+        // Derive (time, key) pairs from one random word each: times
+        // cluster (mod 4096) so duplicates and ties are common.
+        let events: Vec<(u64, u64)> = raw
+            .iter()
+            .map(|r| ((r >> 12) % 4096, r & 0xFFF))
+            .collect();
+
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64)>> =
+            events.iter().map(|&e| std::cmp::Reverse(e)).collect();
+        let mut cal = CalendarQueue::new(width);
+        for &(t, k) in &events {
+            cal.push(t, k);
+        }
+        while let Some(std::cmp::Reverse(expect)) = heap.pop() {
+            prop_assert_eq!(cal.pop(), Some(expect));
+        }
+        prop_assert_eq!(cal.pop(), None);
+        prop_assert!(cal.is_empty());
     }
 
     #[test]
