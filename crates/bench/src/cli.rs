@@ -7,7 +7,7 @@
 //! pim-bench run <name>... | all
 //!     [--format table|json|csv] [--out <path>]
 //!     [--threads N] [--seed N] [--set key=value]...
-//!     [--arch <name>]... [--workload <WLn>]... [--dataflow <WS|OS|IS|FL>]...
+//!     [--arch <name>]... [--workload <WLn>]... [--dataflow <WS|OS|IS|FL|searched>]...
 //!     [--strategy sfc|greedy]
 //! pim-bench perf [--quick] [--out <path>] [--max-seconds N]
 //! ```
@@ -38,7 +38,7 @@ USAGE:
 
 PERF OPTIONS:
     --quick                   CI scenario: WL1 only (full Table II otherwise)
-    --out <path>              where to write the JSON (default: BENCH_6.json)
+    --out <path>              where to write the JSON (default: BENCH_7.json)
     --max-seconds <N>         fail (exit 1) if the optimized run-all exceeds N s
 
 RUN OPTIONS:
@@ -49,13 +49,14 @@ RUN OPTIONS:
     --set <key=value>         SystemConfig override (repeatable; validated)
     --arch <name>             architecture subset: Floret, SIAM, Kite, SWAP (repeatable)
     --workload <WLn>          Table II mix subset (repeatable)
-    --dataflow <mode>         dataflow subset: WS, OS, IS, FL (repeatable)
+    --dataflow <mode>         dataflow subset: WS, OS, IS, FL, searched (repeatable)
     --strategy sfc|greedy     force the mapping strategy (default: per-arch paper choice)
 
 EXAMPLES:
     pim-bench run fig3
     pim-bench run serving                  # multi-tenant fleet serving sweep
     pim-bench run dataflows --workload WL1 --dataflow WS --dataflow FL
+    pim-bench run mapping_search --workload WL3   # searched loop nests vs the hand modes
     pim-bench run table1 fig3 --format json --out results.json
     pim-bench run all --format json        # supersedes the export_json binary
     pim-bench run fig5 --set sim_sampling=32 --set batch=4 --threads 1
@@ -139,7 +140,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         }
         "perf" => {
             let mut quick = false;
-            let mut out = "BENCH_6.json".to_string();
+            let mut out = "BENCH_7.json".to_string();
             let mut max_seconds = None;
             let mut it = args[1..].iter();
             while let Some(arg) = it.next() {
@@ -442,6 +443,21 @@ mod tests {
         assert_eq!(scenario.workloads, vec!["WL1"]);
         assert_eq!(scenario.dataflows, vec![Dataflow::FusedLayer]);
         assert_eq!(scenario.strategy, Some(StrategyKind::Greedy));
+    }
+
+    #[test]
+    fn searched_dataflow_parses_at_the_cli() {
+        let Command::Run { scenario, .. } =
+            parse(&argv(&["run", "dataflows", "--dataflow", "searched"])).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(scenario.dataflows, vec![Dataflow::Searched]);
+        let err = parse(&argv(&["run", "dataflows", "--dataflow", "rowwise"])).unwrap_err();
+        let CliError::Usage(msg) = err else {
+            panic!("expected usage error");
+        };
+        assert!(msg.contains("rowwise"), "{msg}");
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! process — once on the optimized path (shared [`pim_core::EvalCache`],
 //! red-black SOR thermal solver) and once on the baseline path (cache
 //! bypassed, the seed's reference Gauss-Seidel solver) — plus solver and
-//! DES and serving micro-benchmarks, and writes the result as JSON
-//! (`BENCH_6.json` at the repo root is the committed baseline of this
+//! DES, serving and mapping-search micro-benchmarks, and writes the
+//! result as JSON
+//! (`BENCH_7.json` at the repo root is the committed baseline of this
 //! PR). Future PRs
 //! append `BENCH_<n>.json` files, giving every change a comparable,
 //! scripted perf record instead of hand-waved claims.
@@ -106,6 +107,24 @@ pub struct ServingMicro {
     pub events_per_sec: f64,
 }
 
+/// Mapping-search micro-benchmark: the deterministic beam search over
+/// per-layer loop nests, timed across a slice of the model zoo.
+#[derive(Clone, Debug, Serialize)]
+pub struct MappingSearchMicro {
+    /// Whole-model searches per repetition.
+    pub models: usize,
+    /// Timed repetitions.
+    pub reps: u32,
+    /// Candidate mappings costed in one repetition (pre-pruning).
+    pub candidates_costed: u64,
+    /// Wall time of all repetitions, milliseconds.
+    pub search_ms: f64,
+    /// Whole-model searches per second.
+    pub searches_per_sec: f64,
+    /// Candidate mappings costed per second.
+    pub candidates_per_sec: f64,
+}
+
 /// Evaluation-cache counters of the optimized pass.
 #[derive(Clone, Debug, Serialize)]
 pub struct CacheSummary {
@@ -120,7 +139,7 @@ pub struct CacheSummary {
 pub struct PerfReport {
     /// Schema tag for downstream tooling.
     pub schema: &'static str,
-    /// The PR number this baseline belongs to (`BENCH_6.json`).
+    /// The PR number this baseline belongs to (`BENCH_7.json`).
     pub bench_pr: u32,
     /// Whether the quick (CI) scenario was used.
     pub quick: bool,
@@ -139,6 +158,8 @@ pub struct PerfReport {
     pub des: DesMicro,
     /// Serving event-loop micro-benchmark (calendar-queue throughput).
     pub serving: ServingMicro,
+    /// Mapping-search micro-benchmark (mappings searched per second).
+    pub mapping_search: MappingSearchMicro,
     /// Evaluation-cache traffic of the optimized pass.
     pub cache: CacheSummary,
 }
@@ -274,6 +295,41 @@ fn serving_micro(horizon_ms: f64, threads: usize) -> ServingMicro {
     }
 }
 
+fn mapping_search_micro(reps: u32) -> MappingSearchMicro {
+    use dnn::{build_model, Dataset, ModelKind, SegmentGraph};
+    let cfg = pim_core::SystemConfig::datacenter_25d().pim;
+    let opts = mapper::SearchOptions::default();
+    let graphs: Vec<SegmentGraph> = [
+        ModelKind::ResNet18,
+        ModelKind::Vgg11,
+        ModelKind::DenseNet169,
+    ]
+    .into_iter()
+    .map(|kind| {
+        let g = build_model(kind, Dataset::ImageNet).expect("zoo models build");
+        SegmentGraph::from_layer_graph(&g)
+    })
+    .collect();
+    let mut candidates_costed = 0;
+    let t = Instant::now();
+    for _ in 0..reps {
+        candidates_costed = graphs
+            .iter()
+            .map(|g| mapper::search_model(g, &cfg, &opts).candidates_costed)
+            .sum();
+    }
+    let search_ms = ms(t);
+    let secs = (search_ms / 1e3).max(f64::MIN_POSITIVE);
+    MappingSearchMicro {
+        models: graphs.len(),
+        reps,
+        candidates_costed,
+        search_ms,
+        searches_per_sec: f64::from(reps) * graphs.len() as f64 / secs,
+        candidates_per_sec: f64::from(reps) * candidates_costed as f64 / secs,
+    }
+}
+
 /// Runs the full harness.
 ///
 /// # Errors
@@ -320,7 +376,7 @@ pub fn run(quick: bool) -> Result<PerfReport, ScenarioError> {
 
     Ok(PerfReport {
         schema: "pim-bench-perf-v1",
-        bench_pr: 6,
+        bench_pr: 7,
         quick,
         threads,
         experiments,
@@ -334,6 +390,7 @@ pub fn run(quick: bool) -> Result<PerfReport, ScenarioError> {
         des: des_micro(),
         // ≥ 1M events either way; --quick only trims the horizon.
         serving: serving_micro(if quick { 30_000.0 } else { 60_000.0 }, threads),
+        mapping_search: mapping_search_micro(if quick { 3 } else { 10 }),
         cache,
     })
 }
@@ -378,6 +435,13 @@ impl PerfReport {
             self.serving.simulate_ms,
             self.serving.events_per_sec / 1e6,
         ));
+        out.push_str(&format!(
+            "mapping search ({} models x {} reps): {:.1} searches/s, {:.0} candidates/s\n",
+            self.mapping_search.models,
+            self.mapping_search.reps,
+            self.mapping_search.searches_per_sec,
+            self.mapping_search.candidates_per_sec,
+        ));
         out
     }
 
@@ -416,6 +480,15 @@ mod tests {
         assert!(m.requests > 10_000, "{} requests", m.requests);
         assert!(m.events >= m.requests);
         assert!(m.events_per_sec > 0.0);
+    }
+
+    #[test]
+    fn mapping_search_micro_counts_candidates() {
+        let m = mapping_search_micro(1);
+        assert_eq!(m.models, 3);
+        assert!(m.candidates_costed > 100, "{}", m.candidates_costed);
+        assert!(m.searches_per_sec > 0.0);
+        assert!(m.candidates_per_sec > m.searches_per_sec);
     }
 
     #[test]

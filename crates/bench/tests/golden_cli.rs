@@ -1,6 +1,6 @@
 //! Golden-file snapshot tests for the `pim-bench` CLI: the `table1`,
-//! `fig3`, `dataflows` and `serving` outputs (table and JSON formats)
-//! are pinned byte-for-byte under `tests/golden/`. The numeric rows
+//! `fig3`, `dataflows`, `mapping_search` and `serving` outputs (table
+//! and JSON formats) are pinned byte-for-byte under `tests/golden/`. The numeric rows
 //! were verified identical to the pre-redesign per-figure binaries when
 //! the goldens were first recorded, so these snapshots carry that
 //! equivalence forward.
@@ -69,6 +69,31 @@ fn dataflows_table_format_is_pinned() {
 #[test]
 fn dataflows_json_format_is_pinned() {
     assert_golden(&["run", "dataflows", "--format", "json"], "dataflows.json");
+}
+
+#[test]
+fn mapping_search_table_format_is_pinned() {
+    // The reduced axis keeps the searched-resolution pipeline (5 report
+    // builds per cell) affordable while still pinning two architectures.
+    assert_golden(
+        &["run", "mapping_search", "--workload", "WL3"],
+        "mapping_search.table.txt",
+    );
+}
+
+#[test]
+fn mapping_search_json_format_is_pinned() {
+    assert_golden(
+        &[
+            "run",
+            "mapping_search",
+            "--workload",
+            "WL3",
+            "--format",
+            "json",
+        ],
+        "mapping_search.json",
+    );
 }
 
 #[test]

@@ -53,7 +53,7 @@ pub mod sweep;
 
 pub use arch::NoiArch;
 pub use config::{ConfigError, SystemConfig, SystemConfigBuilder};
-pub use platform25::{Platform25D, WorkloadReport};
+pub use platform25::{Platform25D, SearchedResolution, WorkloadReport};
 pub use platform3d::{ParetoPoint, PlacementEval, Platform3D};
 pub use scenario::{
     CellValue, Column, ColumnType, ExperimentOutput, ExperimentRegistry, ExperimentSpec, Histogram,

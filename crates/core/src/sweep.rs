@@ -21,8 +21,10 @@
 //! both run the full (mix × architecture) sweep, and the dataflow figure
 //! re-maps the same cells before costing each mode. The [`EvalCache`]
 //! owned by every `SweepRunner` memoizes finished [`WorkloadReport`]s
-//! (keyed by config fingerprint × architecture × workload × dataflow)
-//! and the dataflow-independent churn mappings behind them, so a shared
+//! (keyed by config fingerprint × architecture × workload × dataflow ×
+//! resolved-mapping fingerprint), the dataflow-independent churn
+//! mappings behind them, and what the `searched` pseudo-mode resolved
+//! each cell to ([`SearchedResolution`]), so a shared
 //! runner — `pim-bench run all` holds one per [`crate::RunContext`] —
 //! does each evaluation exactly once. Cached cells are pure replays:
 //! output stays byte-identical to uncached runs at any thread count.
@@ -43,7 +45,7 @@ use topology::{TopologyError, TopologySummary};
 
 use crate::arch::NoiArch;
 use crate::config::SystemConfig;
-use crate::platform25::{Platform25D, WorkloadReport};
+use crate::platform25::{Platform25D, SearchedResolution, WorkloadReport};
 
 /// Default worker count: one per available hardware thread.
 pub fn default_threads() -> usize {
@@ -122,6 +124,9 @@ struct ChurnEntry {
     outcome: ChurnOutcome,
 }
 
+/// Report-cache key: (arch, workload fp, dataflow tag, resolved mapping fp).
+type ReportKey = (&'static str, u64, &'static str, u64);
+
 /// Cross-experiment evaluation cache (see the module docs). Owned by a
 /// [`SweepRunner`]; every lookup is keyed by the runner's config
 /// fingerprint so entries can never leak across differently-configured
@@ -129,8 +134,17 @@ struct ChurnEntry {
 pub struct EvalCache {
     fingerprint: u64,
     enabled: bool,
-    reports: Mutex<HashMap<(&'static str, u64, &'static str), WorkloadReport>>,
+    /// Finished reports keyed (arch, workload fp, dataflow tag, resolved
+    /// mapping fp). Hand modes key on fingerprint `0` — their mapping is
+    /// the tag; `"SRCH"` rows carry [`SearchedResolution::fingerprint`],
+    /// so two different resolved mappings under the same tag can never
+    /// replay each other's reports.
+    reports: Mutex<HashMap<ReportKey, WorkloadReport>>,
     churn: Mutex<HashMap<(&'static str, u64), Arc<ChurnEntry>>>,
+    /// What [`dnn::Dataflow::Searched`] resolved to per (arch, workload
+    /// fp) cell — the mapping-search memo: later cells replay the
+    /// resolved mappings instead of re-running the search.
+    resolutions: Mutex<HashMap<(&'static str, u64), SearchedResolution>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -182,6 +196,7 @@ impl EvalCache {
             enabled: !bypassed,
             reports: Mutex::new(HashMap::new()),
             churn: Mutex::new(HashMap::new()),
+            resolutions: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -326,36 +341,85 @@ impl SweepRunner {
         }
         let arch = platform.arch_name();
         let wfp = workload_fingerprint(wl);
-        let mut out: Vec<Option<WorkloadReport>> = {
-            let reports = self.cache.reports.lock().expect("cache lock");
-            dataflows
-                .iter()
-                .map(|df| reports.get(&(arch, wfp, df.name())).cloned())
-                .collect()
+        let mut entry: Option<Arc<ChurnEntry>> = None;
+        dataflows
+            .iter()
+            .map(|&df| self.eval_mode(platform, wl, arch, wfp, df, &mut entry))
+            .collect()
+    }
+
+    /// One (cell, dataflow) evaluation through the cache. `Searched`
+    /// first consults the resolution memo: a known resolution keys the
+    /// report lookup by its mapping fingerprint and, on a report miss,
+    /// replays the resolved mappings instead of re-running the search.
+    fn eval_mode(
+        &self,
+        platform: &Platform25D,
+        wl: &Workload,
+        arch: &'static str,
+        wfp: u64,
+        df: Dataflow,
+        entry: &mut Option<Arc<ChurnEntry>>,
+    ) -> WorkloadReport {
+        let resolution = match df {
+            Dataflow::Searched => self
+                .cache
+                .resolutions
+                .lock()
+                .expect("cache lock")
+                .get(&(arch, wfp))
+                .cloned(),
+            _ => None,
         };
-        let missing: Vec<usize> = (0..out.len()).filter(|&i| out[i].is_none()).collect();
-        self.cache
-            .hits
-            .fetch_add((dataflows.len() - missing.len()) as u64, Ordering::Relaxed);
-        self.cache
-            .misses
-            .fetch_add(missing.len() as u64, Ordering::Relaxed);
-        if !missing.is_empty() {
-            let entry = self.cache.churn_entry(platform, wl, wfp);
-            for &mi in &missing {
-                let df = dataflows[mi];
-                let report = platform.cost_churn_outcome(wl, &entry.graphs, &entry.outcome, df);
+        // Hand modes key on mapping fingerprint 0 (the tag *is* the
+        // mapping); an unresolved `Searched` has no key yet and must
+        // miss.
+        let known_mfp = match df {
+            Dataflow::Searched => resolution.as_ref().map(|r| r.fingerprint),
+            _ => Some(0),
+        };
+        if let Some(mfp) = known_mfp {
+            if let Some(r) =
                 self.cache
                     .reports
                     .lock()
                     .expect("cache lock")
-                    .insert((arch, wfp, df.name()), report.clone());
-                out[mi] = Some(report);
+                    .get(&(arch, wfp, df.name(), mfp))
+            {
+                self.cache.hits.fetch_add(1, Ordering::Relaxed);
+                return r.clone();
             }
         }
-        out.into_iter()
-            .map(|r| r.expect("every slot filled above"))
-            .collect()
+        self.cache.misses.fetch_add(1, Ordering::Relaxed);
+        let e = Arc::clone(entry.get_or_insert_with(|| self.cache.churn_entry(platform, wl, wfp)));
+        let (mfp, report) = match df {
+            Dataflow::Searched => match resolution {
+                Some(res) => (
+                    res.fingerprint,
+                    platform.cost_searched_resolution(wl, &e.graphs, &e.outcome, &res),
+                ),
+                None => {
+                    let (res, rep) = platform.resolve_searched(wl, &e.graphs, &e.outcome);
+                    let fp = res.fingerprint;
+                    self.cache
+                        .resolutions
+                        .lock()
+                        .expect("cache lock")
+                        .insert((arch, wfp), res);
+                    (fp, rep)
+                }
+            },
+            df => (
+                0,
+                platform.cost_churn_outcome(wl, &e.graphs, &e.outcome, df),
+            ),
+        };
+        self.cache
+            .reports
+            .lock()
+            .expect("cache lock")
+            .insert((arch, wfp, df.name(), mfp), report.clone());
+        report
     }
 
     /// The system configuration the platforms were built with.
@@ -657,6 +721,102 @@ mod tests {
             .with_cache_enabled(false)
             .run_workloads(std::slice::from_ref(&shrunk));
         assert_eq!(tweaked, fresh);
+    }
+
+    #[test]
+    fn searched_report_keys_include_the_resolved_mapping_fingerprint() {
+        // Two different resolved mappings under the same "SRCH" tag must
+        // occupy distinct cache slots: a report cached for one mapping
+        // can never replay for the other.
+        let cfg = SystemConfig::datacenter_25d();
+        let runner = SweepRunner::new(&cfg).unwrap().with_cache_enabled(true);
+        let wl = dnn::table2_workload("WL1").unwrap();
+        let graphs = Platform25D::task_graphs(&wl);
+        let ws = SearchedResolution::new(
+            graphs
+                .iter()
+                .map(|g| dnn::ModelMapping::preset(Dataflow::WeightStationary, g))
+                .collect(),
+        );
+        let os = SearchedResolution::new(
+            graphs
+                .iter()
+                .map(|g| dnn::ModelMapping::preset(Dataflow::OutputStationary, g))
+                .collect(),
+        );
+        assert_ne!(ws.fingerprint, os.fingerprint);
+
+        let arch = runner.platforms()[0].arch_name();
+        let wfp = workload_fingerprint(&wl);
+        let tag = Dataflow::Searched.name();
+        let rep = runner.platforms()[0].run_workload(&wl);
+        runner
+            .cache()
+            .reports
+            .lock()
+            .unwrap()
+            .insert((arch, wfp, tag, ws.fingerprint), rep);
+        let cached = runner.cache().reports.lock().unwrap();
+        assert!(cached.contains_key(&(arch, wfp, tag, ws.fingerprint)));
+        assert!(
+            !cached.contains_key(&(arch, wfp, tag, os.fingerprint)),
+            "a different mapping under the same tag must miss"
+        );
+    }
+
+    #[test]
+    fn searched_cells_memoize_their_resolution_and_replay_identically() {
+        // One architecture keeps this cheap: the searched axis through
+        // the cache must equal the bypassed path bit-for-bit, and the
+        // second pass must be pure replay (all hits, search memoized).
+        let cfg = SystemConfig::datacenter_25d();
+        let archs = [NoiArch::Floret { lambda: 6 }];
+        let wl = dnn::table2_workload("WL3").unwrap();
+        let axis = Dataflow::all_with_searched();
+        let cached = SweepRunner::for_archs(&cfg, &archs)
+            .unwrap()
+            .with_cache_enabled(true);
+        let bypass = SweepRunner::for_archs(&cfg, &archs)
+            .unwrap()
+            .with_cache_enabled(false);
+
+        let first = cached.run_workloads_dataflows(std::slice::from_ref(&wl), &axis);
+        let n_axis = axis.len() as u64;
+        assert_eq!(
+            cached.cache().stats(),
+            CacheStats {
+                hits: 0,
+                misses: n_axis
+            }
+        );
+        let replay = cached.run_workloads_dataflows(std::slice::from_ref(&wl), &axis);
+        assert_eq!(first, replay, "cache replay must change nothing");
+        assert_eq!(
+            cached.cache().stats(),
+            CacheStats {
+                hits: n_axis,
+                misses: n_axis
+            }
+        );
+        let fresh = bypass.run_workloads_dataflows(std::slice::from_ref(&wl), &axis);
+        assert_eq!(first, fresh, "cached and bypassed searched paths agree");
+        assert_eq!(first.last().unwrap().dataflow, "SRCH");
+    }
+
+    #[test]
+    fn searched_axis_independent_of_thread_count() {
+        let cfg = SystemConfig::datacenter_25d();
+        let archs = [NoiArch::Floret { lambda: 6 }, NoiArch::Kite];
+        let wl = dnn::table2_workload("WL3").unwrap();
+        let axis = Dataflow::all_with_searched();
+        let wide = SweepRunner::for_archs(&cfg, &archs)
+            .unwrap()
+            .run_workloads_dataflows(std::slice::from_ref(&wl), &axis);
+        let narrow = SweepRunner::for_archs(&cfg, &archs)
+            .unwrap()
+            .with_threads(1)
+            .run_workloads_dataflows(std::slice::from_ref(&wl), &axis);
+        assert_eq!(wide, narrow);
     }
 
     #[test]

@@ -29,6 +29,11 @@
 //!   not fusible ([`SegmentGraph::fusible_edges`]) fall back to the
 //!   weight-stationary tiled path.
 //!
+//! * [`Dataflow::Searched`] — not a fixed mode but a request: resolve a
+//!   per-segment loop-nest mapping ([`crate::mapping::Mapping`]) by
+//!   deterministic search and use whatever dominates. The hand modes
+//!   above are constrained points of that space (see [`crate::mapping`]).
+//!
 //! The bank-side picture is captured by [`BufferProfile`]: per-MAC buffer
 //! reads/writes relative to the weight-stationary baseline, which the
 //! `pim` crate folds into per-segment energy.
@@ -38,10 +43,14 @@
 //! ```
 //! use dnn::Dataflow;
 //!
-//! // The sweepable axis: all four modes, weight-stationary first.
+//! // The hand modes: all four, weight-stationary first.
 //! let modes = Dataflow::all();
 //! assert_eq!(modes[0], Dataflow::WeightStationary);
 //! assert_eq!(modes.len(), 4);
+//! // The full sweep axis appends the searched-optimal pseudo-mode.
+//! let axis = Dataflow::all_with_searched();
+//! assert_eq!(axis.len(), 5);
+//! assert_eq!(axis[4], Dataflow::Searched);
 //!
 //! // Weight-stationary is the baseline: unit energy factor.
 //! assert_eq!(Dataflow::WeightStationary.mac_energy_factor(), 1.0);
@@ -50,6 +59,7 @@
 //!     assert!(df.mac_energy_factor() <= 1.0 + 1e-12);
 //! }
 //! assert_eq!("FL".parse::<Dataflow>(), Ok(Dataflow::FusedLayer));
+//! assert_eq!("searched".parse::<Dataflow>(), Ok(Dataflow::Searched));
 //! ```
 
 use std::fmt;
@@ -78,6 +88,11 @@ pub enum Dataflow {
     /// Adjacent fusible segments pipeline their tiles; intermediate
     /// activations stay on-bank and only halo bands cross the NoI.
     FusedLayer,
+    /// Searched-optimal: resolve a per-segment loop-nest mapping
+    /// ([`crate::mapping::Mapping`]) by deterministic search instead of
+    /// fixing one residency policy. Carries no factors of its own — the
+    /// platform resolves it to a concrete mapping before costing.
+    Searched,
 }
 
 /// Relative per-MAC buffer traffic of a dataflow, normalized so the
@@ -125,13 +140,28 @@ impl Dataflow {
     /// over ~16-row line-buffer tiles.
     pub const FUSED_HALO_FRACTION: f64 = 0.125;
 
-    /// Every mode, in sweep order (weight-stationary baseline first).
+    /// Every hand mode, in sweep order (weight-stationary baseline
+    /// first). [`Dataflow::Searched`] is deliberately excluded — it is a
+    /// resolution request, not a fixed mode; use
+    /// [`Dataflow::all_with_searched`] for the full sweep axis.
     pub fn all() -> [Dataflow; 4] {
         [
             Dataflow::WeightStationary,
             Dataflow::OutputStationary,
             Dataflow::InputStationary,
             Dataflow::FusedLayer,
+        ]
+    }
+
+    /// The full sweep axis: the four hand modes plus the
+    /// searched-optimal pseudo-mode.
+    pub fn all_with_searched() -> [Dataflow; 5] {
+        [
+            Dataflow::WeightStationary,
+            Dataflow::OutputStationary,
+            Dataflow::InputStationary,
+            Dataflow::FusedLayer,
+            Dataflow::Searched,
         ]
     }
 
@@ -142,6 +172,7 @@ impl Dataflow {
             Dataflow::OutputStationary => "OS",
             Dataflow::InputStationary => "IS",
             Dataflow::FusedLayer => "FL",
+            Dataflow::Searched => "SRCH",
         }
     }
 
@@ -152,6 +183,7 @@ impl Dataflow {
             Dataflow::OutputStationary => "output-stationary",
             Dataflow::InputStationary => "input-stationary",
             Dataflow::FusedLayer => "fused-layer",
+            Dataflow::Searched => "searched",
         }
     }
 
@@ -166,6 +198,12 @@ impl Dataflow {
     /// * FL: the intermediate tensor of a fused pair is produced and
     ///   consumed inside the pipeline, halving both the producer's output
     ///   writes and the consumer's input reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Dataflow::Searched`], which has no fixed profile —
+    /// the platform resolves it to a [`crate::mapping::Mapping`] (via
+    /// `mapper::search`) before any costing.
     pub fn buffer_profile(self) -> BufferProfile {
         match self {
             Dataflow::WeightStationary => BufferProfile {
@@ -188,6 +226,10 @@ impl Dataflow {
                 psum_writes_per_mac: 0.5,
                 weight_feeds_per_mac: 1.0,
             },
+            Dataflow::Searched => panic!(
+                "Dataflow::Searched has no fixed buffer profile; resolve it to a \
+                 dnn::mapping::Mapping via mapper::search before costing"
+            ),
         }
     }
 
@@ -197,6 +239,11 @@ impl Dataflow {
     /// as exact literals so the weight-stationary baseline multiplies by
     /// exactly `1.0` (bit-identical to the pre-dataflow cost model);
     /// `profile_factors_match_literals` pins the correspondence.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Dataflow::Searched`] — see
+    /// [`Dataflow::buffer_profile`].
     pub fn mac_energy_factor(self) -> f64 {
         match self {
             // 0.6 + 0.15*1 + 0.15*1 + 0.1*1
@@ -207,6 +254,10 @@ impl Dataflow {
             Dataflow::InputStationary => 0.9375,
             // 0.6 + 0.15*0.5 + 0.15*0.5 + 0.1*1
             Dataflow::FusedLayer => 0.85,
+            Dataflow::Searched => panic!(
+                "Dataflow::Searched has no fixed energy factor; resolve it to a \
+                 dnn::mapping::Mapping via mapper::search before costing"
+            ),
         }
     }
 
@@ -216,9 +267,18 @@ impl Dataflow {
     /// weight tiles through the peripheral bus stalls the crossbar
     /// between output tiles. OS accumulates in place and FL overlaps the
     /// halo exchange with compute.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Dataflow::Searched`] — see
+    /// [`Dataflow::buffer_profile`].
     pub fn latency_factor(self) -> f64 {
         match self {
             Dataflow::InputStationary => 1.1,
+            Dataflow::Searched => panic!(
+                "Dataflow::Searched has no fixed latency factor; resolve it to a \
+                 dnn::mapping::Mapping via mapper::search before costing"
+            ),
             _ => 1.0,
         }
     }
@@ -236,7 +296,7 @@ pub struct ParseDataflowError;
 
 impl fmt::Display for ParseDataflowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("unknown dataflow (expected WS, OS, IS or FL)")
+        f.write_str("unknown dataflow (expected WS, OS, IS, FL or searched)")
     }
 }
 
@@ -245,10 +305,10 @@ impl std::error::Error for ParseDataflowError {}
 impl FromStr for Dataflow {
     type Err = ParseDataflowError;
 
-    /// Parses a short (`"WS"`) or long (`"weight-stationary"`) name,
-    /// case-insensitively.
+    /// Parses a short (`"WS"`, `"SRCH"`) or long (`"weight-stationary"`,
+    /// `"searched"`) name, case-insensitively.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        Dataflow::all()
+        Dataflow::all_with_searched()
             .into_iter()
             .find(|d| s.eq_ignore_ascii_case(d.name()) || s.eq_ignore_ascii_case(d.long_name()))
             .ok_or(ParseDataflowError)
@@ -310,12 +370,28 @@ mod tests {
 
     #[test]
     fn names_round_trip() {
-        for df in Dataflow::all() {
+        for df in Dataflow::all_with_searched() {
             assert_eq!(df.name().parse::<Dataflow>(), Ok(df));
             assert_eq!(df.long_name().parse::<Dataflow>(), Ok(df));
             assert_eq!(df.name().to_lowercase().parse::<Dataflow>(), Ok(df));
         }
         assert!("systolic".parse::<Dataflow>().is_err());
+    }
+
+    #[test]
+    fn the_searched_axis_appends_to_the_hand_modes() {
+        let hand = Dataflow::all();
+        let full = Dataflow::all_with_searched();
+        assert_eq!(&full[..4], &hand[..]);
+        assert_eq!(full[4], Dataflow::Searched);
+        assert_eq!(Dataflow::Searched.name(), "SRCH");
+        assert_eq!(Dataflow::Searched.long_name(), "searched");
+    }
+
+    #[test]
+    #[should_panic(expected = "no fixed energy factor")]
+    fn searched_has_no_fixed_factors() {
+        let _ = Dataflow::Searched.mac_energy_factor();
     }
 
     #[test]

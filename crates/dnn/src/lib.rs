@@ -10,7 +10,11 @@
 //! * the Table II concurrent-DNN datacenter mixes ([`table2`]);
 //! * segment compression for chiplet mapping ([`SegmentGraph`]);
 //! * the sweepable dataflow axis ([`Dataflow`]): weight-, output- and
-//!   input-stationary plus the PIMfused-style fused-layer pipeline;
+//!   input-stationary plus the PIMfused-style fused-layer pipeline and
+//!   the searched-optimal pseudo-mode;
+//! * the per-segment loop-nest mapping engine behind that axis
+//!   ([`mapping::Mapping`]): tiling factors × loop order per memory
+//!   level, with the hand modes as constrained presets;
 //! * the Section IV Transformer storage analysis ([`BertConfig`]).
 //!
 //! # Examples
@@ -35,6 +39,7 @@
 pub mod dataflow;
 mod graph;
 mod layer;
+pub mod mapping;
 pub mod models;
 mod segment;
 mod shapes;
@@ -45,6 +50,7 @@ mod zoo;
 pub use dataflow::{BufferProfile, Dataflow, ParseDataflowError};
 pub use graph::{ActivationSplit, Edge, EdgeKind, GraphBuilder, GraphError, LayerGraph};
 pub use layer::{Layer, LayerId, LayerKind};
+pub use mapping::{Mapping, ModelMapping, NoiPolicy};
 pub use segment::{Segment, SegmentEdge, SegmentGraph, SegmentId};
 pub use shapes::{Dataset, TensorShape};
 pub use transformer::{lifetime_inferences, storage_sweep, BertConfig, StorageRow};

@@ -29,6 +29,7 @@ mod arrivals;
 mod greedy;
 mod placement;
 mod scheduler;
+pub mod search;
 mod sfc;
 mod transfers;
 
@@ -41,8 +42,9 @@ pub use scheduler::{
     run_churn, run_churn_with_ledger, run_queue, ChurnOutcome, QueueOutcome, Strategy,
     StrategyKind, Wave,
 };
+pub use search::{search_model, MappingProblem, SearchOptions, SearchOutcome};
 pub use sfc::{contiguity_score, map_task_sfc, sfc_order};
 pub use transfers::{
-    placement_transfers, transfers_for, transfers_for_batch, wave_transfers, wave_transfers_for,
-    Transfer,
+    placement_transfers, transfers_for, transfers_for_batch, transfers_for_batch_mapped,
+    transfers_for_mapped, wave_transfers, wave_transfers_for, Transfer,
 };

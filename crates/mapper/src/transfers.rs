@@ -1,15 +1,18 @@
 //! Conversion of placements into inter-chiplet transfer descriptors — the
 //! traffic that the network simulator replays.
 //!
-//! The shape of that traffic depends on the [`Dataflow`]: which operand
-//! stays resident in the PIM banks decides whether activation slices,
-//! staged weight tiles, or only fused-pipeline halo bands cross the NoI.
-//! [`transfers_for`] implements the per-mode accounting;
+//! The shape of that traffic depends on the mapping's outermost-level
+//! tiles: which operand stays resident in the PIM banks — its
+//! [`NoiPolicy`] — decides whether activation slices, staged weight
+//! tiles, or only fused-pipeline halo bands cross the NoI.
+//! [`transfers_for_batch_mapped`] expands a per-segment
+//! [`ModelMapping`]; the [`Dataflow`] entry points ([`transfers_for`])
+//! are façades that apply the mode's uniform preset policy;
 //! [`placement_transfers`] is the weight-stationary (seed) baseline.
 
 use std::collections::BTreeMap;
 
-use dnn::{Dataflow, SegmentEdge, SegmentGraph};
+use dnn::{Dataflow, ModelMapping, NoiPolicy, SegmentEdge, SegmentGraph};
 use serde::{Deserialize, Serialize};
 use topology::NodeId;
 
@@ -80,14 +83,41 @@ fn for_each_aligned_pair<F: FnMut(NodeId, NodeId, f64)>(
     }
 }
 
+/// Where an expansion takes each edge's NoI policy from: one uniform
+/// policy (the [`Dataflow`] façade) or the consumer segment's resolved
+/// mapping.
+enum Policies<'a> {
+    /// Every edge uses the same policy.
+    Uniform(NoiPolicy),
+    /// `per_segment[dst.index()]` decides each edge (the consumer's
+    /// mapping owns the edge: its residency is what gets staged).
+    PerSegment(&'a [NoiPolicy]),
+}
+
+impl Policies<'_> {
+    fn for_dst(&self, dst_index: usize) -> NoiPolicy {
+        match self {
+            Policies::Uniform(p) => *p,
+            Policies::PerSegment(ps) => ps[dst_index],
+        }
+    }
+
+    fn any_fused(&self) -> bool {
+        match self {
+            Policies::Uniform(p) => *p == NoiPolicy::FusedHalo,
+            Policies::PerSegment(ps) => ps.contains(&NoiPolicy::FusedHalo),
+        }
+    }
+}
+
 /// One transfer expansion in progress: the placement/graph pair being
-/// expanded and the dataflow, element width and batch it is costed
-/// under.
+/// expanded and the per-edge NoI policies, element width and batch it
+/// is costed under.
 struct Expansion<'a> {
     tp: &'a TaskPlacement,
     sg: &'a SegmentGraph,
     bytes_per_element: u64,
-    dataflow: Dataflow,
+    policies: Policies<'a>,
     batch: u64,
 }
 
@@ -97,14 +127,15 @@ impl Expansion<'_> {
     /// `fusible` states whether a fused-layer pipeline may elide this
     /// edge.
     ///
-    /// Re-stationing (OS/IS) moves the consumer's computation to the
-    /// producer's chiplets: the consumer's weight tile crosses dst → src
-    /// and the produced output slice always streams back src → dst, so
-    /// every tensor ends the edge where downstream edges expect it. OS
-    /// accumulates psums in the borrowed crossbars and stages the weight
-    /// tile *once per batch*; IS has no crossbar residency and re-stages
-    /// it every frame — which is exactly why re-stationing decisions are
-    /// made on batch totals, not per frame.
+    /// Re-stationing ([`NoiPolicy::StageOncePerBatch`] /
+    /// [`NoiPolicy::StagePerFrame`]) moves the consumer's computation to
+    /// the producer's chiplets: the consumer's weight tile crosses
+    /// dst → src and the produced output slice always streams back
+    /// src → dst, so every tensor ends the edge where downstream edges
+    /// expect it. Psum residency (OS) stages the weight tile *once per
+    /// batch*; without it (IS) the tile re-stages every frame — which is
+    /// exactly why re-stationing decisions are made on batch totals, not
+    /// per frame.
     fn accumulate_edge(
         &self,
         acc: &mut BTreeMap<(NodeId, NodeId), u64>,
@@ -115,7 +146,7 @@ impl Expansion<'_> {
             tp,
             sg,
             bytes_per_element,
-            dataflow,
+            ref policies,
             batch,
         } = *self;
         let src_place = &tp.segments[e.src.index()];
@@ -127,6 +158,7 @@ impl Expansion<'_> {
         let dst_seg = sg.segment(e.dst);
         let weight_bytes = (dst_seg.params * bytes_per_element) as f64;
         let out_bytes = (dst_seg.out_activations * bytes_per_element) as f64;
+        let policy = policies.for_dst(e.dst.index());
         let mut add = |from: NodeId, to: NodeId, bytes: u64| {
             if bytes > 0 {
                 *acc.entry((from, to)).or_insert(0) += bytes;
@@ -141,14 +173,14 @@ impl Expansion<'_> {
             let act = (vol * overlap).round() as u64;
             let reload = (weight_bytes * overlap).round() as u64;
             let writeback = (out_bytes * overlap).round() as u64;
-            match dataflow {
+            match policy {
                 // Weights never move: the activation slice crosses per frame
-                // (seed scheme).
-                Dataflow::WeightStationary => add(sn, dn, act * batch),
+                // (seed scheme; WS).
+                NoiPolicy::Tiled => add(sn, dn, act * batch),
                 // Psums accumulate in the borrowed crossbars: one weight-tile
                 // stage for the whole batch, one output slice back per frame
-                // — where that beats the tiled path.
-                Dataflow::OutputStationary => {
+                // — where that beats the tiled path (OS).
+                NoiPolicy::StageOncePerBatch => {
                     if reload + writeback * batch < act * batch {
                         add(dn, sn, reload);
                         add(sn, dn, writeback * batch);
@@ -158,8 +190,8 @@ impl Expansion<'_> {
                 }
                 // Only the input slice is resident: no psum residency means
                 // the weight tile re-stages every frame alongside the output
-                // write-back.
-                Dataflow::InputStationary => {
+                // write-back (IS).
+                NoiPolicy::StagePerFrame => {
                     if (reload + writeback) * batch < act * batch {
                         add(dn, sn, reload * batch);
                         add(sn, dn, writeback * batch);
@@ -169,8 +201,8 @@ impl Expansion<'_> {
                 }
                 // Fusible edges keep the intermediate tensor inside the tile
                 // pipeline; only the halo band crosses. Everything else falls
-                // back to the tiled path.
-                Dataflow::FusedLayer => {
+                // back to the tiled path (FL).
+                NoiPolicy::FusedHalo => {
                     if fusible {
                         let halo = (vol * overlap * Dataflow::FUSED_HALO_FRACTION).round() as u64;
                         add(sn, dn, halo * batch);
@@ -220,7 +252,73 @@ pub fn transfers_for_batch(
     dataflow: Dataflow,
     batch: u64,
 ) -> Vec<Transfer> {
-    let fusible = if dataflow == Dataflow::FusedLayer {
+    expand(
+        tp,
+        sg,
+        bytes_per_element,
+        Policies::Uniform(dataflow.noi_policy()),
+        batch,
+    )
+}
+
+/// Expands a task placement under a resolved per-segment
+/// [`ModelMapping`] for one inference frame —
+/// [`transfers_for_batch_mapped`] with a batch of one.
+pub fn transfers_for_mapped(
+    tp: &TaskPlacement,
+    sg: &SegmentGraph,
+    bytes_per_element: u64,
+    mapping: &ModelMapping,
+) -> Vec<Transfer> {
+    transfers_for_batch_mapped(tp, sg, bytes_per_element, mapping, 1)
+}
+
+/// Expands a task placement into the inter-chiplet transfers implied by
+/// a resolved per-segment [`ModelMapping`] for `batch` back-to-back
+/// frames.
+///
+/// Each edge follows the NoI policy of its *consumer* segment's mapping
+/// ([`dnn::Mapping::noi_policy`]) — the consumer's operand residency is
+/// what decides which tensor gets staged across the edge. A uniform
+/// preset mapping is therefore byte-identical to [`transfers_for_batch`]
+/// on the matching [`Dataflow`]. Ordering and merge semantics are the
+/// same as [`transfers_for_batch`].
+///
+/// # Panics
+///
+/// Panics when `mapping` was built for a different segment count.
+pub fn transfers_for_batch_mapped(
+    tp: &TaskPlacement,
+    sg: &SegmentGraph,
+    bytes_per_element: u64,
+    mapping: &ModelMapping,
+    batch: u64,
+) -> Vec<Transfer> {
+    assert_eq!(
+        mapping.mappings().len(),
+        sg.segment_count(),
+        "mapping/segment count mismatch for {}",
+        sg.name()
+    );
+    let policies: Vec<NoiPolicy> = mapping.mappings().iter().map(|m| m.noi_policy()).collect();
+    expand(
+        tp,
+        sg,
+        bytes_per_element,
+        Policies::PerSegment(&policies),
+        batch,
+    )
+}
+
+/// The shared expansion loop behind the enum and mapping entry points.
+fn expand(
+    tp: &TaskPlacement,
+    sg: &SegmentGraph,
+    bytes_per_element: u64,
+    policies: Policies<'_>,
+    batch: u64,
+) -> Vec<Transfer> {
+    let fusible = if policies.any_fused() {
         sg.fusible_edges()
     } else {
         Vec::new()
@@ -229,7 +327,7 @@ pub fn transfers_for_batch(
         tp,
         sg,
         bytes_per_element,
-        dataflow,
+        policies,
         batch,
     };
     let mut acc: BTreeMap<(NodeId, NodeId), u64> = BTreeMap::new();
@@ -383,7 +481,7 @@ mod tests {
                 tp: &tp,
                 sg: &sg,
                 bytes_per_element: 2,
-                dataflow: df,
+                policies: Policies::Uniform(df.noi_policy()),
                 batch: 3,
             };
             let mut fwd: BTreeMap<(NodeId, NodeId), u64> = BTreeMap::new();
@@ -435,6 +533,53 @@ mod tests {
         for (f, b) in per_frame.iter().zip(&batched) {
             assert_eq!((f.src, f.dst, f.bytes * 8), (b.src, b.dst, b.bytes));
         }
+    }
+
+    #[test]
+    fn uniform_preset_mappings_expand_byte_identically_to_the_enum() {
+        // The policy-based expansion subsumes the enum match: a uniform
+        // preset ModelMapping must reproduce the mode's transfer list
+        // exactly — same pairs, same order, same rounding.
+        for (tp, sg) in [mapped_resnet18(1_000_000), mapped_vgg11(1_000_000)] {
+            for df in Dataflow::all() {
+                let mm = dnn::ModelMapping::preset(df, &sg);
+                for batch in [1, 8] {
+                    assert_eq!(
+                        transfers_for_batch(&tp, &sg, 2, df, batch),
+                        transfers_for_batch_mapped(&tp, &sg, 2, &mm, batch),
+                        "{} {df} batch {batch}",
+                        sg.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_segment_policies_mix_modes_along_the_graph() {
+        // A mixed mapping (fused chain except one re-stationed segment)
+        // is a point neither enum mode can express, and stays bounded by
+        // the WS baseline like every policy arm.
+        let (tp, sg) = mapped_vgg11(1_000_000);
+        let mut per_seg: Vec<dnn::Mapping> = sg
+            .segments()
+            .iter()
+            .map(dnn::Mapping::fused_layer)
+            .collect();
+        let mid = sg.segment_count() / 2;
+        per_seg[mid] = dnn::Mapping::output_stationary(&sg.segments()[mid]);
+        let mixed = dnn::ModelMapping::from_mappings(&sg, "mixed", per_seg);
+        let got = total(&transfers_for_batch_mapped(&tp, &sg, 1, &mixed, 8));
+        let ws = total(&transfers_for_batch(
+            &tp,
+            &sg,
+            1,
+            Dataflow::WeightStationary,
+            8,
+        ));
+        let fl = total(&transfers_for_batch(&tp, &sg, 1, Dataflow::FusedLayer, 8));
+        assert!(got <= ws, "mixed {got} > WS {ws}");
+        assert_ne!(got, fl, "re-stationing one segment must show up");
     }
 
     #[test]

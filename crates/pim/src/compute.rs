@@ -1,7 +1,14 @@
 //! Per-segment PIM compute cost model: chiplet requirements, latency,
 //! energy and power for the weighted layers of a segment graph.
+//!
+//! The core is mapping-based ([`segment_cost_mapped`]): a
+//! [`dnn::mapping::Mapping`] folds its per-level access counts × level
+//! energies into per-MAC energy and latency multipliers, and the cost
+//! model applies them. The [`Dataflow`] entry points are thin façades
+//! that cost the mode's preset mapping — byte-identical to the legacy
+//! enum factors because the presets snap to the same literals.
 
-use dnn::{Dataflow, Segment, SegmentGraph};
+use dnn::{Dataflow, Mapping, ModelMapping, Segment, SegmentGraph};
 use serde::{Deserialize, Serialize};
 
 use crate::config::PimConfig;
@@ -45,7 +52,40 @@ pub fn segment_cost(seg: &Segment, cfg: &PimConfig) -> SegmentCost {
 /// residency through [`Dataflow::mac_energy_factor`], since which operand
 /// stays in the bank registers changes the buffer reads/writes behind
 /// each MAC — plus static power over the latency.
+///
+/// # Panics
+///
+/// Panics on [`Dataflow::Searched`] (no fixed factors) — resolve it to
+/// a [`Mapping`] and use [`segment_cost_mapped`].
 pub fn segment_cost_with(seg: &Segment, cfg: &PimConfig, dataflow: Dataflow) -> SegmentCost {
+    segment_cost_factors(
+        seg,
+        cfg,
+        dataflow.mac_energy_factor(),
+        dataflow.latency_factor(),
+    )
+}
+
+/// Evaluates the PIM compute cost of a segment under `cfg` and a
+/// resolved loop-nest `mapping`.
+///
+/// The mapping's folded per-level access-count × access-energy product
+/// ([`Mapping::energy_factor`]) scales the per-MAC energy; its weight
+/// re-staging stall ([`Mapping::latency_factor`]) scales the latency.
+/// For the four preset mappings this is byte-identical to
+/// [`segment_cost_with`] on the matching [`Dataflow`].
+pub fn segment_cost_mapped(seg: &Segment, cfg: &PimConfig, mapping: &Mapping) -> SegmentCost {
+    segment_cost_factors(seg, cfg, mapping.energy_factor(), mapping.latency_factor())
+}
+
+/// The shared cost core: per-MAC energy and latency multipliers applied
+/// to the crossbar occupancy model.
+fn segment_cost_factors(
+    seg: &Segment,
+    cfg: &PimConfig,
+    energy_factor: f64,
+    latency_factor: f64,
+) -> SegmentCost {
     if seg.params == 0 || seg.macs == 0 {
         return SegmentCost {
             nodes: 0,
@@ -59,10 +99,9 @@ pub fn segment_cost_with(seg: &Segment, cfg: &PimConfig, dataflow: Dataflow) -> 
     let nodes = crossbars.div_ceil(cfg.crossbars_per_node as u64).max(1);
     let weight_count = seg.weight_rows as u64 * seg.weight_cols as u64;
     let mvm_count = seg.macs.checked_div(weight_count).map_or(1, |v| v.max(1));
-    let latency_ns =
-        mvm_count as f64 * cfg.activation_bits as f64 * cfg.read_ns * dataflow.latency_factor();
+    let latency_ns = mvm_count as f64 * cfg.activation_bits as f64 * cfg.read_ns * latency_factor;
     // static_power_w [W] x latency [ns] = nJ; x1e3 converts to pJ.
-    let energy_pj = seg.macs as f64 * cfg.e_mac_pj * dataflow.mac_energy_factor()
+    let energy_pj = seg.macs as f64 * cfg.e_mac_pj * energy_factor
         + cfg.static_power_w * nodes as f64 * latency_ns * 1e3;
     let capacity = nodes * cfg.weights_per_node();
     let utilization = weight_count as f64 / capacity as f64;
@@ -104,12 +143,50 @@ pub fn model_cost(sg: &SegmentGraph, cfg: &PimConfig) -> ModelComputeCost {
 }
 
 /// Aggregates [`segment_cost_with`] over an entire segment graph.
+///
+/// # Panics
+///
+/// Panics on [`Dataflow::Searched`] — use [`model_cost_mapped`] with a
+/// resolved [`ModelMapping`] instead.
 pub fn model_cost_with(sg: &SegmentGraph, cfg: &PimConfig, dataflow: Dataflow) -> ModelComputeCost {
     let mut total_nodes = 0;
     let mut latency_ns = 0.0;
     let mut energy_pj = 0.0;
     for seg in sg.segments() {
         let c = segment_cost_with(seg, cfg, dataflow);
+        total_nodes += c.nodes;
+        latency_ns += c.latency_ns;
+        energy_pj += c.energy_pj;
+    }
+    ModelComputeCost {
+        total_nodes,
+        latency_ns,
+        energy_pj,
+    }
+}
+
+/// Aggregates [`segment_cost_mapped`] over an entire segment graph under
+/// a per-segment [`ModelMapping`].
+///
+/// # Panics
+///
+/// Panics when `mapping` was built for a different segment count.
+pub fn model_cost_mapped(
+    sg: &SegmentGraph,
+    cfg: &PimConfig,
+    mapping: &ModelMapping,
+) -> ModelComputeCost {
+    assert_eq!(
+        mapping.mappings().len(),
+        sg.segment_count(),
+        "mapping/segment count mismatch for {}",
+        sg.name()
+    );
+    let mut total_nodes = 0;
+    let mut latency_ns = 0.0;
+    let mut energy_pj = 0.0;
+    for (idx, seg) in sg.segments().iter().enumerate() {
+        let c = segment_cost_mapped(seg, cfg, mapping.segment(idx));
         total_nodes += c.nodes;
         latency_ns += c.latency_ns;
         energy_pj += c.energy_pj;
@@ -262,6 +339,52 @@ mod tests {
         let fl = model_cost_with(&sg, &cfg, Dataflow::FusedLayer);
         let os = model_cost_with(&sg, &cfg, Dataflow::OutputStationary);
         assert!(fl.energy_pj < os.energy_pj, "fused pipelines save the most");
+    }
+
+    #[test]
+    fn preset_mappings_cost_byte_identically_to_the_enum_on_the_whole_zoo() {
+        // The mapping engine subsumes the enum: for every Table I model
+        // and every hand mode, costing the preset mapping is the same
+        // doubles as costing the enum — WS therefore stays byte-identical
+        // to the seed cost model through the refactor.
+        let cfg = PimConfig::default();
+        for entry in dnn::table1() {
+            let g = build_model(entry.kind, entry.dataset).unwrap();
+            let sg = SegmentGraph::from_layer_graph(&g);
+            for df in Dataflow::all() {
+                let mm = dnn::ModelMapping::preset(df, &sg);
+                assert_eq!(
+                    model_cost_with(&sg, &cfg, df),
+                    model_cost_mapped(&sg, &cfg, &mm),
+                    "{} {df}",
+                    sg.name()
+                );
+                for (idx, seg) in sg.segments().iter().enumerate() {
+                    assert_eq!(
+                        segment_cost_with(seg, &cfg, df),
+                        segment_cost_mapped(seg, &cfg, mm.segment(idx)),
+                        "{} {df} {}",
+                        sg.name(),
+                        seg.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn derived_mappings_open_cost_points_the_enum_cannot_reach() {
+        // A deeper reduction tile than the OS preset's t=4 keeps psums
+        // resident longer and lands strictly below every hand mode that
+        // shares its unit latency.
+        let sg = resnet18_segments();
+        let cfg = PimConfig::default();
+        let seg = &sg.segments()[1];
+        let deep = dnn::Mapping::derived(dnn::mapping::Loop::K, 16, false, seg);
+        let c = segment_cost_mapped(seg, &cfg, &deep);
+        let os = segment_cost_with(seg, &cfg, Dataflow::OutputStationary);
+        assert!(c.energy_pj < os.energy_pj);
+        assert_eq!(c.latency_ns, os.latency_ns);
     }
 
     #[test]
