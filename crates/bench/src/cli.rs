@@ -9,7 +9,7 @@
 //!     [--threads N] [--seed N] [--set key=value]...
 //!     [--arch <name>]... [--workload <WLn>]... [--dataflow <WS|OS|IS|FL|searched>]...
 //!     [--strategy sfc|greedy]
-//! pim-bench perf [--quick] [--out <path>] [--max-seconds N]
+//! pim-bench perf [--quick] [--out <path>] [--max-seconds N] [--gate <baseline.json>]
 //! ```
 //!
 //! `run` builds one declarative [`Scenario`] from the flags, resolves it
@@ -38,8 +38,10 @@ USAGE:
 
 PERF OPTIONS:
     --quick                   CI scenario: WL1 only (full Table II otherwise)
-    --out <path>              where to write the JSON (default: BENCH_7.json)
+    --out <path>              where to write the JSON (default: BENCH_8.json)
     --max-seconds <N>         fail (exit 1) if the optimized run-all exceeds N s
+    --gate <baseline.json>    fail (exit 1) on >25% regression in the
+                              fig3/dataflows/mapping_search cells vs the committed baseline
 
 RUN OPTIONS:
     --format table|json|csv   output format (default: table)
@@ -61,7 +63,7 @@ EXAMPLES:
     pim-bench run all --format json        # supersedes the export_json binary
     pim-bench run fig5 --set sim_sampling=32 --set batch=4 --threads 1
     pim-bench run poisson --strategy greedy
-    pim-bench perf --quick --max-seconds 300";
+    pim-bench perf --quick --max-seconds 300 --gate BENCH_8_quick.json";
 
 /// A CLI failure, split by exit code.
 #[derive(Debug)]
@@ -106,7 +108,8 @@ pub enum Command {
         /// Optional output file.
         out: Option<String>,
     },
-    /// `pim-bench perf [--quick] [--out <path>] [--max-seconds N]`
+    /// `pim-bench perf [--quick] [--out <path>] [--max-seconds N]
+    /// [--gate <baseline.json>]`
     Perf {
         /// Use the reduced CI scenario (WL1 only).
         quick: bool,
@@ -114,6 +117,9 @@ pub enum Command {
         out: String,
         /// Optional hard ceiling on the optimized run-all wall time.
         max_seconds: Option<f64>,
+        /// Committed `BENCH_*.json` to gate the fig3/dataflows/
+        /// mapping_search cells against (>25% regression fails).
+        gate: Option<String>,
     },
     /// `pim-bench help` / `--help`
     Help,
@@ -140,8 +146,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         }
         "perf" => {
             let mut quick = false;
-            let mut out = "BENCH_7.json".to_string();
+            let mut out = "BENCH_8.json".to_string();
             let mut max_seconds = None;
+            let mut gate = None;
             let mut it = args[1..].iter();
             while let Some(arg) = it.next() {
                 let mut value_of = |flag: &str| {
@@ -159,6 +166,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                                 usage(format!("--max-seconds: invalid number `{v}`"))
                             })?);
                     }
+                    "--gate" => gate = Some(value_of("--gate")?),
                     flag => return Err(usage(format!("perf: unknown flag `{flag}`"))),
                 }
             }
@@ -166,6 +174,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 quick,
                 out,
                 max_seconds,
+                gate,
             })
         }
         "run" => {
@@ -292,11 +301,20 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             quick,
             out,
             max_seconds,
+            gate,
         } => {
             let report = crate::perf::run(*quick).map_err(CliError::Run)?;
             std::fs::write(out, report.to_json())
                 .map_err(|e| CliError::Io(format!("--out {out}: {e}")))?;
-            let text = format!("{}wrote perf report to {out}\n", report.summary());
+            let mut text = format!("{}wrote perf report to {out}\n", report.summary());
+            if let Some(baseline_path) = gate {
+                let baseline = std::fs::read_to_string(baseline_path)
+                    .map_err(|e| CliError::Io(format!("--gate {baseline_path}: {e}")))?;
+                match report.gate_against(&baseline) {
+                    Ok(summary) => text.push_str(&summary),
+                    Err(failure) => return Err(CliError::Perf(format!("{failure}\n{text}"))),
+                }
+            }
             if let Some(max) = *max_seconds {
                 let took = report.run_all.optimized_ms / 1e3;
                 if took > max {

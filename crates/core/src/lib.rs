@@ -48,6 +48,7 @@ pub mod hetero;
 mod platform25;
 mod platform3d;
 pub mod scenario;
+mod scratch;
 pub mod serving;
 pub mod sweep;
 
@@ -59,7 +60,10 @@ pub use scenario::{
     CellValue, Column, ColumnType, ExperimentOutput, ExperimentRegistry, ExperimentSpec, Histogram,
     ResolvedScenario, RunContext, Scenario, ScenarioError, Table,
 };
+pub use scratch::SweepScratch;
 pub use serving::{
     simulate_serving, LoadPointOutcome, ServingOutcome, ServingSpec, TenantSpec, UTIL_SLICES,
 };
-pub use sweep::{default_threads, parallel_map, CacheStats, EvalCache, SweepRunner};
+pub use sweep::{
+    default_threads, parallel_map, CacheStats, EvalCache, SweepRunner, CACHE_MIN_TASKS,
+};

@@ -6,16 +6,20 @@ use std::sync::Arc;
 
 use dnn::{build_model, Dataflow, ModelMapping, SegmentGraph, Workload};
 use mapper::{
-    placement_transfers, run_churn, run_queue, search_model, transfers_for_batch,
-    transfers_for_batch_mapped, ChurnOutcome, QueueOutcome, SearchOptions, Strategy, StrategyKind,
+    placement_transfers, run_churn, run_queue, search_model, transfers_for_batch_into,
+    transfers_for_batch_mapped_into, ChurnOutcome, QueueOutcome, SearchOptions, Strategy,
+    StrategyKind,
 };
-use netsim::{analyze_with_table, sample_flows, simulate_with_table, Flow, RouteTable, SimConfig};
+use netsim::{
+    analyze_with_table, sample_flows_into, simulate_with_scratch, Flow, RouteTable, SimConfig,
+};
 use serde::{Deserialize, Serialize};
 use topology::{FloretLayout, Topology, TopologyError, TopologySummary};
 
 use crate::arch::NoiArch;
 use crate::config::SystemConfig;
 use crate::scenario::ScenarioError;
+use crate::scratch::{SweepScratch, NO_SLOT};
 
 /// A 2.5D PIM chiplet system with a fixed NoI architecture.
 ///
@@ -378,11 +382,23 @@ impl Platform25D {
         wl: &Workload,
         dataflows: &[Dataflow],
     ) -> Vec<WorkloadReport> {
+        self.run_workload_dataflows_scratch(wl, dataflows, &mut SweepScratch::new())
+    }
+
+    /// [`Platform25D::run_workload_dataflows`] against caller-owned
+    /// scratch (see [`SweepScratch`]) — bit-identical reports, no
+    /// per-mode buffer churn.
+    pub fn run_workload_dataflows_scratch(
+        &self,
+        wl: &Workload,
+        dataflows: &[Dataflow],
+        scratch: &mut SweepScratch,
+    ) -> Vec<WorkloadReport> {
         let graphs = Self::task_graphs(wl);
         let outcome = self.churn_outcome_from_graphs(&graphs);
         dataflows
             .iter()
-            .map(|&df| self.cost_churn_outcome(wl, &graphs, &outcome, df))
+            .map(|&df| self.cost_churn_outcome_scratch(wl, &graphs, &outcome, df, scratch))
             .collect()
     }
 
@@ -415,9 +431,24 @@ impl Platform25D {
         outcome: &ChurnOutcome,
         dataflow: Dataflow,
     ) -> WorkloadReport {
+        self.cost_churn_outcome_scratch(wl, graphs, outcome, dataflow, &mut SweepScratch::new())
+    }
+
+    /// [`Platform25D::cost_churn_outcome`] against caller-owned scratch.
+    pub fn cost_churn_outcome_scratch(
+        &self,
+        wl: &Workload,
+        graphs: &[SegmentGraph],
+        outcome: &ChurnOutcome,
+        dataflow: Dataflow,
+        scratch: &mut SweepScratch,
+    ) -> WorkloadReport {
         match dataflow {
-            Dataflow::Searched => self.resolve_searched(wl, graphs, outcome).1,
-            df => self.report_from_outcome(wl, graphs, outcome, &CostModel::Mode(df)),
+            Dataflow::Searched => {
+                self.resolve_searched_scratch(wl, graphs, outcome, scratch)
+                    .1
+            }
+            df => self.report_from_outcome(wl, graphs, outcome, &CostModel::Mode(df), scratch),
         }
     }
 
@@ -440,6 +471,17 @@ impl Platform25D {
         graphs: &[SegmentGraph],
         outcome: &ChurnOutcome,
     ) -> (SearchedResolution, WorkloadReport) {
+        self.resolve_searched_scratch(wl, graphs, outcome, &mut SweepScratch::new())
+    }
+
+    /// [`Platform25D::resolve_searched`] against caller-owned scratch.
+    pub fn resolve_searched_scratch(
+        &self,
+        wl: &Workload,
+        graphs: &[SegmentGraph],
+        outcome: &ChurnOutcome,
+        scratch: &mut SweepScratch,
+    ) -> (SearchedResolution, WorkloadReport) {
         let mut candidates: Vec<Vec<ModelMapping>> = Vec::with_capacity(5);
         candidates.push(self.searched_task_mappings(graphs));
         for df in Dataflow::all() {
@@ -447,7 +489,8 @@ impl Platform25D {
         }
         let mut best: Option<(Vec<ModelMapping>, WorkloadReport, f64)> = None;
         for maps in candidates {
-            let rep = self.report_from_outcome(wl, graphs, outcome, &CostModel::Mapped(&maps));
+            let rep =
+                self.report_from_outcome(wl, graphs, outcome, &CostModel::Mapped(&maps), scratch);
             let edp = self.report_edp(&rep);
             // Strict `<`: the searched candidate comes first and keeps
             // ties, making the resolution deterministic.
@@ -469,11 +512,31 @@ impl Platform25D {
         outcome: &ChurnOutcome,
         resolution: &SearchedResolution,
     ) -> WorkloadReport {
+        self.cost_searched_resolution_scratch(
+            wl,
+            graphs,
+            outcome,
+            resolution,
+            &mut SweepScratch::new(),
+        )
+    }
+
+    /// [`Platform25D::cost_searched_resolution`] against caller-owned
+    /// scratch.
+    pub fn cost_searched_resolution_scratch(
+        &self,
+        wl: &Workload,
+        graphs: &[SegmentGraph],
+        outcome: &ChurnOutcome,
+        resolution: &SearchedResolution,
+        scratch: &mut SweepScratch,
+    ) -> WorkloadReport {
         self.report_from_outcome(
             wl,
             graphs,
             outcome,
             &CostModel::Mapped(&resolution.mappings),
+            scratch,
         )
     }
 
@@ -513,42 +576,62 @@ impl Platform25D {
         graphs: &[SegmentGraph],
         outcome: &ChurnOutcome,
         model: &CostModel<'_>,
+        scratch: &mut SweepScratch,
     ) -> WorkloadReport {
-        // Per-task flows, built once. Batching happens inside the
-        // expansion: the mapping's NoI policy decides what is staged once
-        // per batch (OS weight tiles) vs once per frame.
-        let task_flows: Vec<Vec<Flow>> = outcome
+        // Per-task flows, built once into the scratch lists (inner
+        // vectors are recycled for their capacity). Batching happens
+        // inside the expansion: the mapping's NoI policy decides what is
+        // staged once per batch (OS weight tiles) vs once per frame.
+        let n_tasks = outcome.placements.len();
+        while scratch.task_flows.len() > n_tasks {
+            let spare = scratch.task_flows.pop().expect("len checked");
+            scratch.spare_flows.push(spare);
+        }
+        while scratch.task_flows.len() < n_tasks {
+            scratch
+                .task_flows
+                .push(scratch.spare_flows.pop().unwrap_or_default());
+        }
+        for (i, tp) in outcome.placements.iter().enumerate() {
+            match model {
+                CostModel::Mode(df) => transfers_for_batch_into(
+                    tp,
+                    &graphs[tp.task.index()],
+                    self.cfg.activation_bytes,
+                    *df,
+                    self.cfg.batch as u64,
+                    &mut scratch.transfers,
+                ),
+                CostModel::Mapped(maps) => transfers_for_batch_mapped_into(
+                    tp,
+                    &graphs[tp.task.index()],
+                    self.cfg.activation_bytes,
+                    &maps[tp.task.index()],
+                    self.cfg.batch as u64,
+                    &mut scratch.transfers,
+                ),
+            };
+            let tf = &mut scratch.task_flows[i];
+            tf.clear();
+            tf.extend(
+                scratch
+                    .transfers
+                    .iter()
+                    .map(|t| Flow::new(t.src, t.dst, t.bytes)),
+            );
+        }
+        // Task id -> task_flows index, as a flat slot table.
+        let slots = outcome
             .placements
             .iter()
-            .map(|tp| {
-                let transfers = match model {
-                    CostModel::Mode(df) => transfers_for_batch(
-                        tp,
-                        &graphs[tp.task.index()],
-                        self.cfg.activation_bytes,
-                        *df,
-                        self.cfg.batch as u64,
-                    ),
-                    CostModel::Mapped(maps) => transfers_for_batch_mapped(
-                        tp,
-                        &graphs[tp.task.index()],
-                        self.cfg.activation_bytes,
-                        &maps[tp.task.index()],
-                        self.cfg.batch as u64,
-                    ),
-                };
-                transfers
-                    .into_iter()
-                    .map(|t| Flow::new(t.src, t.dst, t.bytes))
-                    .collect()
-            })
-            .collect();
-        let placement_of: std::collections::BTreeMap<u32, usize> = outcome
-            .placements
-            .iter()
-            .enumerate()
-            .map(|(i, tp)| (tp.task.0, i))
-            .collect();
+            .map(|tp| tp.task.0 as usize + 1)
+            .max()
+            .unwrap_or(0);
+        scratch.placement_slot.clear();
+        scratch.placement_slot.resize(slots, NO_SLOT);
+        for (i, tp) in outcome.placements.iter().enumerate() {
+            scratch.placement_slot[tp.task.0 as usize] = i as u32;
+        }
 
         // Per-task analytical accounting: every task's traffic is paid
         // exactly once (energy and zero-load latency depend only on the
@@ -557,7 +640,7 @@ impl Platform25D {
         let mut energy_pj = 0.0;
         let mut traffic = 0u64;
         let mut hops_weighted = 0.0;
-        for flows in &task_flows {
+        for flows in &scratch.task_flows {
             if flows.is_empty() {
                 continue;
             }
@@ -581,17 +664,31 @@ impl Platform25D {
             if si % every != 0 && si + 1 != n_snaps {
                 continue;
             }
-            let flows: Vec<Flow> = snap
-                .iter()
-                .filter_map(|t| placement_of.get(&t.0))
-                .flat_map(|&i| task_flows[i].iter().copied())
-                .collect();
-            if flows.is_empty() {
+            scratch.snapshot_flows.clear();
+            for t in snap {
+                match scratch.placement_slot.get(t.0 as usize) {
+                    Some(&slot) if slot != NO_SLOT => scratch
+                        .snapshot_flows
+                        .extend(scratch.task_flows[slot as usize].iter().copied()),
+                    _ => {}
+                }
+            }
+            if scratch.snapshot_flows.is_empty() {
                 continue;
             }
-            let sampled = sample_flows(&flows, self.cfg.sim_sampling);
-            let sim =
-                simulate_with_table(&self.topo, &self.cfg.hw, &sampled, &sim_cfg, &self.route);
+            sample_flows_into(
+                &scratch.snapshot_flows,
+                self.cfg.sim_sampling,
+                &mut scratch.sampled_flows,
+            );
+            let sim = simulate_with_scratch(
+                &self.topo,
+                &self.cfg.hw,
+                &scratch.sampled_flows,
+                &sim_cfg,
+                &self.route,
+                &mut scratch.sim,
+            );
             sim_latency += sim.makespan_cycles;
             packet_lat_weighted += sim.mean_packet_latency_cycles * sim.packets as f64;
             packets += sim.packets;

@@ -46,6 +46,7 @@ use topology::{TopologyError, TopologySummary};
 use crate::arch::NoiArch;
 use crate::config::SystemConfig;
 use crate::platform25::{Platform25D, SearchedResolution, WorkloadReport};
+use crate::scratch::{ScratchPool, SweepScratch};
 
 /// Default worker count: one per available hardware thread.
 pub fn default_threads() -> usize {
@@ -257,7 +258,17 @@ pub struct SweepRunner {
     threads: usize,
     platforms: Vec<Platform25D>, // NoiArch::all() order
     cache: EvalCache,
+    /// Reusable per-cell evaluation buffers, handed to whichever worker
+    /// evaluates the next cell (see [`crate::scratch`]).
+    scratch: ScratchPool,
 }
+
+/// Workloads below this task count bypass the [`EvalCache`] entirely:
+/// fingerprinting a workload formats its full `Debug` representation,
+/// which costs more than re-evaluating such tiny cells (the BENCH_7
+/// `table1`/`fig4`/`hetero` inversion). Every Table II mix is far above
+/// this, so the paper sweeps always cache.
+pub const CACHE_MIN_TASKS: usize = 4;
 
 impl SweepRunner {
     /// Builds all four [`NoiArch`] platforms once (in parallel) and
@@ -288,6 +299,7 @@ impl SweepRunner {
             threads,
             platforms,
             cache: EvalCache::new(cfg),
+            scratch: ScratchPool::default(),
         })
     }
 
@@ -336,22 +348,29 @@ impl SweepRunner {
     /// bit-identical to [`Platform25D::run_workload_dataflows`].
     fn eval_cell(&self, pi: usize, wl: &Workload, dataflows: &[Dataflow]) -> Vec<WorkloadReport> {
         let platform = &self.platforms[pi];
-        if !self.cache.enabled {
-            return platform.run_workload_dataflows(wl, dataflows);
-        }
-        let arch = platform.arch_name();
-        let wfp = workload_fingerprint(wl);
-        let mut entry: Option<Arc<ChurnEntry>> = None;
-        dataflows
-            .iter()
-            .map(|&df| self.eval_mode(platform, wl, arch, wfp, df, &mut entry))
-            .collect()
+        let mut scratch = self.scratch.take();
+        // Tiny cells skip the cache: computing the workload fingerprint
+        // costs more than the evaluation it would memoize.
+        let out = if !self.cache.enabled || wl.task_count() < CACHE_MIN_TASKS {
+            platform.run_workload_dataflows_scratch(wl, dataflows, &mut scratch)
+        } else {
+            let arch = platform.arch_name();
+            let wfp = workload_fingerprint(wl);
+            let mut entry: Option<Arc<ChurnEntry>> = None;
+            dataflows
+                .iter()
+                .map(|&df| self.eval_mode(platform, wl, arch, wfp, df, &mut entry, &mut scratch))
+                .collect()
+        };
+        self.scratch.put(scratch);
+        out
     }
 
     /// One (cell, dataflow) evaluation through the cache. `Searched`
     /// first consults the resolution memo: a known resolution keys the
     /// report lookup by its mapping fingerprint and, on a report miss,
     /// replays the resolved mappings instead of re-running the search.
+    #[allow(clippy::too_many_arguments)]
     fn eval_mode(
         &self,
         platform: &Platform25D,
@@ -360,6 +379,7 @@ impl SweepRunner {
         wfp: u64,
         df: Dataflow,
         entry: &mut Option<Arc<ChurnEntry>>,
+        scratch: &mut SweepScratch,
     ) -> WorkloadReport {
         let resolution = match df {
             Dataflow::Searched => self
@@ -396,10 +416,12 @@ impl SweepRunner {
             Dataflow::Searched => match resolution {
                 Some(res) => (
                     res.fingerprint,
-                    platform.cost_searched_resolution(wl, &e.graphs, &e.outcome, &res),
+                    platform
+                        .cost_searched_resolution_scratch(wl, &e.graphs, &e.outcome, &res, scratch),
                 ),
                 None => {
-                    let (res, rep) = platform.resolve_searched(wl, &e.graphs, &e.outcome);
+                    let (res, rep) =
+                        platform.resolve_searched_scratch(wl, &e.graphs, &e.outcome, scratch);
                     let fp = res.fingerprint;
                     self.cache
                         .resolutions
@@ -411,7 +433,7 @@ impl SweepRunner {
             },
             df => (
                 0,
-                platform.cost_churn_outcome(wl, &e.graphs, &e.outcome, df),
+                platform.cost_churn_outcome_scratch(wl, &e.graphs, &e.outcome, df, scratch),
             ),
         };
         self.cache
@@ -648,6 +670,41 @@ mod tests {
         assert_eq!(first, replay, "cache replay must change nothing");
         assert_eq!(first, fresh, "cached and bypassed paths must agree");
         assert_eq!(bypass.cache().stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn tiny_workloads_bypass_the_cache_entirely() {
+        // BENCH_7 showed the "optimized" table1/fig4/hetero cells slower
+        // than baseline: fingerprinting a workload costs more than
+        // evaluating it when the mix is a handful of tasks. Below
+        // CACHE_MIN_TASKS the cache must not even be consulted — zero
+        // hits, zero misses, no stored reports — and the result must
+        // equal both a cache-disabled run and a cached run of the same
+        // mix.
+        let cfg = SystemConfig::datacenter_25d();
+        let tiny = dnn::Workload {
+            name: "tiny".into(),
+            mix: vec![dnn::MixEntry {
+                count: (CACHE_MIN_TASKS - 1) as u32,
+                model_index: 0,
+            }],
+            paper_total_params_b: 0.0,
+        };
+        assert!(tiny.task_count() < CACHE_MIN_TASKS);
+        let runner = SweepRunner::new(&cfg).unwrap().with_cache_enabled(true);
+        let first = runner.run_workloads(std::slice::from_ref(&tiny));
+        let second = runner.run_workloads(std::slice::from_ref(&tiny));
+        assert_eq!(
+            runner.cache().stats(),
+            CacheStats::default(),
+            "tiny cells must never touch the cache"
+        );
+        assert_eq!(first, second);
+        let bypass = SweepRunner::new(&cfg)
+            .unwrap()
+            .with_cache_enabled(false)
+            .run_workloads(std::slice::from_ref(&tiny));
+        assert_eq!(first, bypass);
     }
 
     #[test]

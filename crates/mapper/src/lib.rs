@@ -45,6 +45,7 @@ pub use scheduler::{
 pub use search::{search_model, MappingProblem, SearchOptions, SearchOutcome};
 pub use sfc::{contiguity_score, map_task_sfc, sfc_order};
 pub use transfers::{
-    placement_transfers, transfers_for, transfers_for_batch, transfers_for_batch_mapped,
-    transfers_for_mapped, wave_transfers, wave_transfers_for, Transfer,
+    placement_transfers, transfers_for, transfers_for_batch, transfers_for_batch_into,
+    transfers_for_batch_mapped, transfers_for_batch_mapped_into, transfers_for_mapped,
+    wave_transfers, wave_transfers_for, Transfer,
 };

@@ -252,13 +252,29 @@ pub fn transfers_for_batch(
     dataflow: Dataflow,
     batch: u64,
 ) -> Vec<Transfer> {
-    expand(
+    let mut out = Vec::new();
+    transfers_for_batch_into(tp, sg, bytes_per_element, dataflow, batch, &mut out);
+    out
+}
+
+/// [`transfers_for_batch`] into a caller-owned buffer (cleared first),
+/// so sweep scratch reuse skips the per-task output allocation.
+pub fn transfers_for_batch_into(
+    tp: &TaskPlacement,
+    sg: &SegmentGraph,
+    bytes_per_element: u64,
+    dataflow: Dataflow,
+    batch: u64,
+    out: &mut Vec<Transfer>,
+) {
+    expand_into(
         tp,
         sg,
         bytes_per_element,
         Policies::Uniform(dataflow.noi_policy()),
         batch,
-    )
+        out,
+    );
 }
 
 /// Expands a task placement under a resolved per-segment
@@ -294,6 +310,25 @@ pub fn transfers_for_batch_mapped(
     mapping: &ModelMapping,
     batch: u64,
 ) -> Vec<Transfer> {
+    let mut out = Vec::new();
+    transfers_for_batch_mapped_into(tp, sg, bytes_per_element, mapping, batch, &mut out);
+    out
+}
+
+/// [`transfers_for_batch_mapped`] into a caller-owned buffer (cleared
+/// first).
+///
+/// # Panics
+///
+/// Panics when `mapping` was built for a different segment count.
+pub fn transfers_for_batch_mapped_into(
+    tp: &TaskPlacement,
+    sg: &SegmentGraph,
+    bytes_per_element: u64,
+    mapping: &ModelMapping,
+    batch: u64,
+    out: &mut Vec<Transfer>,
+) {
     assert_eq!(
         mapping.mappings().len(),
         sg.segment_count(),
@@ -301,23 +336,28 @@ pub fn transfers_for_batch_mapped(
         sg.name()
     );
     let policies: Vec<NoiPolicy> = mapping.mappings().iter().map(|m| m.noi_policy()).collect();
-    expand(
+    expand_into(
         tp,
         sg,
         bytes_per_element,
         Policies::PerSegment(&policies),
         batch,
-    )
+        out,
+    );
 }
 
-/// The shared expansion loop behind the enum and mapping entry points.
-fn expand(
+/// The shared expansion loop behind the enum and mapping entry points,
+/// writing into a caller-owned buffer (cleared first). The `(src, dst)`
+/// merge map still accumulates per call; only the emitted transfer list
+/// reuses capacity.
+fn expand_into(
     tp: &TaskPlacement,
     sg: &SegmentGraph,
     bytes_per_element: u64,
     policies: Policies<'_>,
     batch: u64,
-) -> Vec<Transfer> {
+    out: &mut Vec<Transfer>,
+) {
     let fusible = if policies.any_fused() {
         sg.fusible_edges()
     } else {
@@ -335,14 +375,13 @@ fn expand(
         let f = fusible.get(ei).copied().unwrap_or(false);
         exp.accumulate_edge(&mut acc, e, f);
     }
-    acc.into_iter()
-        .map(|((src, dst), bytes)| Transfer {
-            src,
-            dst,
-            bytes,
-            task: tp.task,
-        })
-        .collect()
+    out.clear();
+    out.extend(acc.into_iter().map(|((src, dst), bytes)| Transfer {
+        src,
+        dst,
+        bytes,
+        task: tp.task,
+    }));
 }
 
 /// Expands a task placement under the weight-stationary (seed) scheme:

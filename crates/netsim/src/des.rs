@@ -18,8 +18,16 @@
 //! `(time, key)` dequeue order. Service order on a contended channel is
 //! strictly by header arrival time, and the simulation is fully
 //! deterministic.
-
-use std::collections::VecDeque;
+//!
+//! All simulator state is arena-backed SoA held in a reusable
+//! [`SimScratch`]: packet hop records live in flat vectors sliced by a
+//! per-packet offset table, and wait-queue nodes come from a pooled
+//! free-list chained by index — no per-packet heap allocation, and a warm
+//! scratch runs the whole simulation without allocating at all. The
+//! time-0 injection burst (every packet enters at cycle 0) is dispatched
+//! directly in `(time, key)` order instead of through the calendar, whose
+//! single-bucket min-scan would otherwise make the initial drain
+//! quadratic in the packet count.
 
 use serde::{Deserialize, Serialize};
 use topology::{HwParams, LinkId, NodeId, Topology};
@@ -108,19 +116,60 @@ impl EventKind {
     }
 }
 
-/// A parked header in a channel's FIFO wait queue.
-struct Waiter {
+/// Sentinel index for "no node" in the wait-queue free lists.
+const NIL: u32 = u32::MAX;
+
+/// A parked header in a channel's FIFO wait queue. Nodes live in the
+/// scratch's shared pool and are chained through `next` (per-channel
+/// queue when parked, free list when recycled).
+#[derive(Clone, Copy)]
+struct WaitNode {
     seq: u32,
     hop: u16,
     arrived: u64,
+    next: u32,
 }
 
-/// A packet's route: the NI channel then directed link channels.
-struct Packet {
+/// Arena-backed SoA packet storage. The hop records of every packet of a
+/// run live in two flat vectors (`channels`, `hop_delay`) sliced by the
+/// `offsets` table, so segmenting a flow into packets appends to four
+/// vectors instead of allocating two boxed `Vec`s per packet.
+#[derive(Default)]
+struct PacketArena {
+    /// `offsets[i]..offsets[i + 1]` bounds packet `i`'s hop records;
+    /// always one longer than the packet count.
+    offsets: Vec<u32>,
+    /// Channel id of each traversal: the source NI, then directed links.
     channels: Vec<u32>,
-    hop_delay: Vec<u64>, // header delay for each channel traversal
-    ser_cycles: u64,
-    delivered_at: u64,
+    /// Header delay of each traversal.
+    hop_delay: Vec<u64>,
+    ser_cycles: Vec<u64>,
+    delivered_at: Vec<u64>,
+}
+
+impl PacketArena {
+    fn clear(&mut self) {
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.channels.clear();
+        self.hop_delay.clear();
+        self.ser_cycles.clear();
+        self.delivered_at.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.ser_cycles.len()
+    }
+
+    /// First hop-record index of packet `seq`.
+    fn start(&self, seq: usize) -> usize {
+        self.offsets[seq] as usize
+    }
+
+    /// Number of channel traversals of packet `seq`.
+    fn hops(&self, seq: usize) -> usize {
+        (self.offsets[seq + 1] - self.offsets[seq]) as usize
+    }
 }
 
 /// Aggregate per-hop scheduler statistics of one event-loop run.
@@ -131,6 +180,160 @@ struct LoopStats {
     hop_latency_max: u64,
     wait_total: u64,
     heap_events: u64,
+}
+
+/// Reusable simulator state: the packet arena, the scheduler (busy
+/// times, wait queues, calendar), and the report buffers. Construct one
+/// per worker and pass it to [`simulate_with_scratch`] run after run —
+/// every buffer is cleared with capacity kept, so a warm scratch makes
+/// the whole simulation allocation-free.
+pub struct SimScratch {
+    arena: PacketArena,
+    busy_until: Vec<u64>,
+    wait_head: Vec<u32>,
+    wait_tail: Vec<u32>,
+    wait_nodes: Vec<WaitNode>,
+    free_node: u32,
+    queue: CalendarQueue,
+    stats: LoopStats,
+    latencies: Vec<u64>,
+    path: Vec<LinkId>,
+}
+
+impl Default for SimScratch {
+    fn default() -> Self {
+        SimScratch::new()
+    }
+}
+
+impl std::fmt::Debug for SimScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimScratch").finish_non_exhaustive()
+    }
+}
+
+impl SimScratch {
+    /// An empty scratch; every buffer grows on first use and stays warm.
+    pub fn new() -> Self {
+        SimScratch {
+            arena: PacketArena::default(),
+            busy_until: Vec::new(),
+            wait_head: Vec::new(),
+            wait_tail: Vec::new(),
+            wait_nodes: Vec::new(),
+            free_node: NIL,
+            queue: CalendarQueue::new(8),
+            stats: LoopStats::default(),
+            latencies: Vec::new(),
+            path: Vec::new(),
+        }
+    }
+
+    fn reset_engine(&mut self, n_channels: usize) {
+        self.busy_until.clear();
+        self.busy_until.resize(n_channels, 0);
+        self.wait_head.clear();
+        self.wait_head.resize(n_channels, NIL);
+        self.wait_tail.clear();
+        self.wait_tail.resize(n_channels, NIL);
+        self.wait_nodes.clear();
+        self.free_node = NIL;
+        self.queue.clear();
+        self.stats = LoopStats::default();
+    }
+
+    fn has_waiters(&self, ch: usize) -> bool {
+        self.wait_head[ch] != NIL
+    }
+
+    /// Appends a parked header to channel `ch`'s FIFO, recycling a free
+    /// node when one exists.
+    fn park(&mut self, ch: usize, seq: u32, hop: u16, arrived: u64) {
+        let node = WaitNode {
+            seq,
+            hop,
+            arrived,
+            next: NIL,
+        };
+        let idx = if self.free_node != NIL {
+            let idx = self.free_node;
+            self.free_node = self.wait_nodes[idx as usize].next;
+            self.wait_nodes[idx as usize] = node;
+            idx
+        } else {
+            self.wait_nodes.push(node);
+            (self.wait_nodes.len() - 1) as u32
+        };
+        if self.wait_tail[ch] == NIL {
+            self.wait_head[ch] = idx;
+        } else {
+            self.wait_nodes[self.wait_tail[ch] as usize].next = idx;
+        }
+        self.wait_tail[ch] = idx;
+    }
+
+    /// Pops the front waiter of channel `ch` and returns its node to the
+    /// free list.
+    fn pop_waiter(&mut self, ch: usize) -> WaitNode {
+        let idx = self.wait_head[ch];
+        assert!(
+            idx != NIL,
+            "a Free event is only armed while waiters are parked"
+        );
+        let node = self.wait_nodes[idx as usize];
+        self.wait_head[ch] = node.next;
+        if node.next == NIL {
+            self.wait_tail[ch] = NIL;
+        }
+        self.wait_nodes[idx as usize].next = self.free_node;
+        self.free_node = idx;
+        node
+    }
+
+    /// Grants packet `seq` its `hop`-th channel at `now` (the header
+    /// arrived wanting it at `arrived <= now`) and schedules the next
+    /// hop.
+    fn acquire(&mut self, seq: u32, hop: u16, now: u64, arrived: u64) {
+        let start = self.arena.start(seq as usize);
+        let ch = self.arena.channels[start + hop as usize] as usize;
+        self.busy_until[ch] = now + self.arena.ser_cycles[seq as usize];
+        let header_arrives = now + self.arena.hop_delay[start + hop as usize];
+        let hop_latency = header_arrives - arrived;
+        self.stats.hop_traversals += 1;
+        self.stats.hop_latency_total += hop_latency;
+        self.stats.hop_latency_max = self.stats.hop_latency_max.max(hop_latency);
+        self.stats.wait_total += now - arrived;
+        self.queue.push(
+            header_arrives,
+            EventKind::Header { seq, hop: hop + 1 }.order_key(),
+        );
+    }
+
+    /// Handles a Header event: deliver past the last hop, acquire a free
+    /// channel, or park on a busy one (the first waiter arms the
+    /// channel's release event). Returns `true` on delivery.
+    fn dispatch_header(&mut self, seq: u32, hop: u16, time: u64) -> bool {
+        let s = seq as usize;
+        if hop as usize >= self.arena.hops(s) {
+            // Tail drains one serialization window after the header
+            // lands.
+            self.arena.delivered_at[s] = time + self.arena.ser_cycles[s];
+            return true;
+        }
+        let ch = self.arena.channels[self.arena.start(s) + hop as usize] as usize;
+        if self.busy_until[ch] <= time && !self.has_waiters(ch) {
+            self.acquire(seq, hop, time, time);
+        } else {
+            if !self.has_waiters(ch) {
+                self.queue.push(
+                    self.busy_until[ch],
+                    EventKind::Free { ch: ch as u32 }.order_key(),
+                );
+            }
+            self.park(ch, seq, hop, time);
+        }
+        false
+    }
 }
 
 /// Runs the simulator on `flows` over `topo`.
@@ -147,16 +350,18 @@ pub fn simulate(topo: &Topology, hw: &HwParams, flows: &[Flow], cfg: &SimConfig)
     simulate_with_table(topo, hw, flows, cfg, &rt)
 }
 
-/// Segments `flows` into packets with per-hop channel ids and delays.
-/// Flows with `src == dst` or zero bytes carry no traffic and produce no
-/// packets (and contribute no energy).
-fn build_packets(
+/// Segments `flows` into packets with per-hop channel ids and delays,
+/// appending to the arena. Flows with `src == dst` or zero bytes carry
+/// no traffic and produce no packets (and contribute no energy).
+fn build_packets_into(
     topo: &Topology,
     hw: &HwParams,
     flows: &[Flow],
     cfg: &SimConfig,
     rt: &RouteTable,
-) -> (Vec<Packet>, f64, u64) {
+    arena: &mut PacketArena,
+    path: &mut Vec<LinkId>,
+) -> (f64, u64) {
     let n_links = topo.link_count();
     let ni_base = 2 * n_links;
     let channel_of = |lid: LinkId, from: NodeId| -> u32 {
@@ -168,145 +373,93 @@ fn build_packets(
         }
     };
 
-    let mut packets: Vec<Packet> = Vec::new();
+    arena.clear();
     let mut energy_pj = 0.0f64;
     let mut flit_hops = 0u64;
-    // One scratch path buffer for the whole setup: `path_into` clears and
-    // refills it per flow, so the hot loop never allocates for routing.
-    let mut path: Vec<LinkId> = Vec::new();
     for f in flows {
         if f.src == f.dst || f.bytes == 0 {
             continue;
         }
-        rt.path_into(topo, f.src, f.dst, &mut path);
+        // `path_into` clears and refills the scratch buffer per flow, so
+        // routing never allocates once the buffer is warm.
+        rt.path_into(topo, f.src, f.dst, path);
         let mut remaining = f.bytes;
         while remaining > 0 {
             let size = remaining.min(cfg.packet_bytes as u64);
             remaining -= size;
             let flits = size.div_ceil(hw.flit_bytes as u64).max(1);
             let bits = size * 8;
-            let mut channels = Vec::with_capacity(path.len() + 1);
-            let mut hop_delay = Vec::with_capacity(path.len() + 1);
             // NI injection: router pipeline to enter the network.
-            channels.push(ni_base as u32 + f.src.0);
-            hop_delay.push(hw.router_pipeline_cycles as u64);
+            arena.channels.push(ni_base as u32 + f.src.0);
+            arena.hop_delay.push(hw.router_pipeline_cycles as u64);
             let mut at = f.src;
-            for lid in &path {
+            for lid in path.iter() {
                 let link = topo.link(*lid);
-                channels.push(channel_of(*lid, at));
-                hop_delay.push(hw.hop_cycles(link.length_hops));
+                arena.channels.push(channel_of(*lid, at));
+                arena.hop_delay.push(hw.hop_cycles(link.length_hops));
                 energy_pj += hw.hop_energy_pj(bits, topo.ports(at), link.length_hops);
                 flit_hops += flits;
                 at = link.opposite(at);
             }
             energy_pj += bits as f64 * hw.router_energy_pj_per_bit(topo.ports(f.dst));
-            packets.push(Packet {
-                channels,
-                hop_delay,
-                ser_cycles: flits,
-                delivered_at: 0,
-            });
+            arena.offsets.push(arena.channels.len() as u32);
+            arena.ser_cycles.push(flits);
+            arena.delivered_at.push(0);
         }
     }
-    (packets, energy_pj, flit_hops)
+    (energy_pj, flit_hops)
 }
 
-/// The wait-queue event loop. Each packet enters the heap once per hop;
-/// a header that finds its channel busy parks in the channel's FIFO and
-/// is woken by a single [`EventKind::Free`] event, so contended channels
-/// serve strictly in header-arrival order.
-/// Mutable scheduler state shared by every event of one run.
-struct EngineState {
-    busy_until: Vec<u64>,
-    wait: Vec<VecDeque<Waiter>>,
-    /// Pending events, bucketed by time. Dequeues in exactly the same
-    /// `(time, order_key)` order as the binary heap it replaced; the
-    /// width matches the common per-hop header delay.
-    queue: CalendarQueue,
-    stats: LoopStats,
-}
-
-impl EngineState {
-    fn new(n_channels: usize) -> Self {
-        EngineState {
-            busy_until: vec![0u64; n_channels],
-            wait: (0..n_channels).map(|_| VecDeque::new()).collect(),
-            queue: CalendarQueue::new(8),
-            stats: LoopStats::default(),
-        }
-    }
-
-    /// Grants packet `seq` (= `p`) its `hop`-th channel at `now` (the
-    /// header arrived wanting it at `arrived <= now`) and schedules the
-    /// next hop.
-    fn acquire(&mut self, p: &Packet, seq: u32, hop: u16, now: u64, arrived: u64) {
-        let ch = p.channels[hop as usize] as usize;
-        self.busy_until[ch] = now + p.ser_cycles;
-        let header_arrives = now + p.hop_delay[hop as usize];
-        let hop_latency = header_arrives - arrived;
-        self.stats.hop_traversals += 1;
-        self.stats.hop_latency_total += hop_latency;
-        self.stats.hop_latency_max = self.stats.hop_latency_max.max(hop_latency);
-        self.stats.wait_total += now - arrived;
-        self.queue.push(
-            header_arrives,
-            EventKind::Header { seq, hop: hop + 1 }.order_key(),
-        );
-    }
-}
-
-fn run_event_loop(packets: &mut [Packet], n_channels: usize) -> LoopStats {
-    let mut st = EngineState::new(n_channels);
-    for seq in 0..packets.len() {
-        st.queue.push(
-            0,
-            EventKind::Header {
-                seq: seq as u32,
-                hop: 0,
-            }
-            .order_key(),
-        );
-    }
+/// The wait-queue event loop. Each packet enters the calendar once per
+/// hop; a header that finds its channel busy parks in the channel's FIFO
+/// and is woken by a single [`EventKind::Free`] event, so contended
+/// channels serve strictly in header-arrival order.
+fn run_event_loop(st: &mut SimScratch, n_channels: usize) {
+    st.reset_engine(n_channels);
+    let n = st.arena.len();
     let mut delivered = 0usize;
+
+    // Time-0 burst fast path. Every packet is injected at cycle 0, so
+    // routing the burst through the calendar lands all n Header events
+    // in one bucket and the initial drain's min-scan goes quadratic in
+    // n. When every first-hop delay is >= 1 (serialization always is),
+    // every event generated while draining the burst lands strictly
+    // after cycle 0, so dispatching seqs in ascending order IS the
+    // queue's (time, key) dequeue order for the burst — bypass the
+    // calendar, with identical heap_events accounting.
+    let burst_direct = (0..n).all(|s| st.arena.hop_delay[st.arena.start(s)] > 0);
+    if burst_direct {
+        for seq in 0..n {
+            st.stats.heap_events += 1;
+            if st.dispatch_header(seq as u32, 0, 0) {
+                delivered += 1;
+            }
+        }
+    } else {
+        for seq in 0..n {
+            st.queue.push(
+                0,
+                EventKind::Header {
+                    seq: seq as u32,
+                    hop: 0,
+                }
+                .order_key(),
+            );
+        }
+    }
 
     while let Some((time, key)) = st.queue.pop() {
         st.stats.heap_events += 1;
         match EventKind::from_order_key(key) {
             EventKind::Header { seq, hop } => {
-                let p = &packets[seq as usize];
-                if hop as usize >= p.channels.len() {
-                    // Tail drains one serialization window after the
-                    // header lands.
-                    let ser = p.ser_cycles;
-                    packets[seq as usize].delivered_at = time + ser;
+                if st.dispatch_header(seq, hop, time) {
                     delivered += 1;
-                    continue;
-                }
-                let ch = p.channels[hop as usize] as usize;
-                if st.busy_until[ch] <= time && st.wait[ch].is_empty() {
-                    st.acquire(&packets[seq as usize], seq, hop, time, time);
-                } else {
-                    // Park once; the first waiter arms the channel's
-                    // release event.
-                    if st.wait[ch].is_empty() {
-                        st.queue.push(
-                            st.busy_until[ch],
-                            EventKind::Free { ch: ch as u32 }.order_key(),
-                        );
-                    }
-                    st.wait[ch].push_back(Waiter {
-                        seq,
-                        hop,
-                        arrived: time,
-                    });
                 }
             }
             EventKind::Free { ch } => {
-                let w = st.wait[ch as usize]
-                    .pop_front()
-                    .expect("a Free event is only armed while waiters are parked");
-                st.acquire(&packets[w.seq as usize], w.seq, w.hop, time, w.arrived);
-                if !st.wait[ch as usize].is_empty() {
+                let w = st.pop_waiter(ch as usize);
+                st.acquire(w.seq, w.hop, time, w.arrived);
+                if st.has_waiters(ch as usize) {
                     st.queue.push(
                         st.busy_until[ch as usize],
                         EventKind::Free { ch }.order_key(),
@@ -315,8 +468,7 @@ fn run_event_loop(packets: &mut [Packet], n_channels: usize) -> LoopStats {
             }
         }
     }
-    debug_assert_eq!(delivered, packets.len());
-    st.stats
+    debug_assert_eq!(delivered, n);
 }
 
 /// Nearest-rank percentile on an ascending-sorted slice: the smallest
@@ -337,13 +489,35 @@ pub fn simulate_with_table(
     cfg: &SimConfig,
     rt: &RouteTable,
 ) -> SimReport {
-    assert!(cfg.packet_bytes > 0, "packet size must be positive");
-    let (mut packets, energy_pj, flit_hops) = build_packets(topo, hw, flows, cfg, rt);
-    let n_channels = 2 * topo.link_count() + topo.node_count();
-    let stats = run_event_loop(&mut packets, n_channels);
+    simulate_with_scratch(topo, hw, flows, cfg, rt, &mut SimScratch::new())
+}
 
-    let mut latencies: Vec<u64> = packets.iter().map(|p| p.delivered_at).collect();
-    latencies.sort_unstable();
+/// [`simulate_with_table`] against caller-owned [`SimScratch`]. The
+/// report is identical whatever state the scratch is in; reusing one
+/// scratch across runs skips all steady-state allocation.
+pub fn simulate_with_scratch(
+    topo: &Topology,
+    hw: &HwParams,
+    flows: &[Flow],
+    cfg: &SimConfig,
+    rt: &RouteTable,
+    scratch: &mut SimScratch,
+) -> SimReport {
+    assert!(cfg.packet_bytes > 0, "packet size must be positive");
+    let (energy_pj, flit_hops) = {
+        let SimScratch { arena, path, .. } = scratch;
+        build_packets_into(topo, hw, flows, cfg, rt, arena, path)
+    };
+    let n_channels = 2 * topo.link_count() + topo.node_count();
+    run_event_loop(scratch, n_channels);
+
+    scratch.latencies.clear();
+    scratch
+        .latencies
+        .extend_from_slice(&scratch.arena.delivered_at);
+    scratch.latencies.sort_unstable();
+    let latencies = &scratch.latencies;
+    let stats = &scratch.stats;
     let makespan = latencies.last().copied().unwrap_or(0);
     let mean = if latencies.is_empty() {
         0.0
@@ -353,7 +527,7 @@ pub fn simulate_with_table(
     SimReport {
         makespan_cycles: makespan,
         mean_packet_latency_cycles: mean,
-        p95_packet_latency_cycles: percentile_nearest_rank(&latencies, 95),
+        p95_packet_latency_cycles: percentile_nearest_rank(latencies, 95),
         packets: latencies.len() as u64,
         flit_hops,
         total_energy_pj: energy_pj,
@@ -378,6 +552,49 @@ mod tests {
 
     fn mesh5() -> Topology {
         mesh2d(5, 5).unwrap()
+    }
+
+    /// AoS packet mirror of the arena, for the reference loops.
+    struct Packet {
+        channels: Vec<u32>,
+        hop_delay: Vec<u64>,
+        ser_cycles: u64,
+        delivered_at: u64,
+    }
+
+    fn build_packets(
+        topo: &Topology,
+        hw: &HwParams,
+        flows: &[Flow],
+        cfg: &SimConfig,
+        rt: &RouteTable,
+    ) -> (PacketArena, f64, u64) {
+        let mut arena = PacketArena::default();
+        let mut path = Vec::new();
+        let (energy, flits) = build_packets_into(topo, hw, flows, cfg, rt, &mut arena, &mut path);
+        (arena, energy, flits)
+    }
+
+    fn arena_to_aos(arena: &PacketArena) -> Vec<Packet> {
+        (0..arena.len())
+            .map(|s| {
+                let lo = arena.start(s);
+                let hi = lo + arena.hops(s);
+                Packet {
+                    channels: arena.channels[lo..hi].to_vec(),
+                    hop_delay: arena.hop_delay[lo..hi].to_vec(),
+                    ser_cycles: arena.ser_cycles[s],
+                    delivered_at: arena.delivered_at[s],
+                }
+            })
+            .collect()
+    }
+
+    fn run_arena(arena: PacketArena, n_channels: usize) -> SimScratch {
+        let mut st = SimScratch::new();
+        st.arena = arena;
+        run_event_loop(&mut st, n_channels);
+        st
     }
 
     /// The seed's retry-polling event loop, kept verbatim as a reference:
@@ -515,6 +732,54 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_is_bit_identical() {
+        // One scratch reused across different workloads must reproduce
+        // fresh-scratch reports exactly, whatever it ran before.
+        let topo = mesh5();
+        let hw = HwParams::default();
+        let cfg = SimConfig::default();
+        let rt = RouteTable::build(&topo, &hw);
+        let burst = contention_burst();
+        let sparse: Vec<Flow> = (0..5)
+            .map(|i| Flow::new(NodeId(i * 5), NodeId(i * 5 + 4), 512))
+            .collect();
+
+        let mut scratch = SimScratch::new();
+        let first = simulate_with_scratch(&topo, &hw, &burst, &cfg, &rt, &mut scratch);
+        let dirty = simulate_with_scratch(&topo, &hw, &sparse, &cfg, &rt, &mut scratch);
+        let rerun = simulate_with_scratch(&topo, &hw, &burst, &cfg, &rt, &mut scratch);
+
+        assert_eq!(first, simulate_with_table(&topo, &hw, &burst, &cfg, &rt));
+        assert_eq!(dirty, simulate_with_table(&topo, &hw, &sparse, &cfg, &rt));
+        assert_eq!(first, rerun);
+    }
+
+    #[test]
+    fn zero_first_hop_delay_falls_back_to_queue() {
+        // router_pipeline_cycles = 0 defeats the burst fast path's
+        // precondition (first-hop headers would re-enter cycle 0); the
+        // fallback must still order the burst exactly like the reference
+        // retry-polling loop on a contention-free pattern.
+        let topo = mesh5();
+        let hw = HwParams {
+            router_pipeline_cycles: 0,
+            ..HwParams::default()
+        };
+        let cfg = SimConfig::default();
+        let rt = RouteTable::build(&topo, &hw);
+        let flows: Vec<Flow> = (0..5)
+            .map(|i| Flow::new(NodeId(i * 5), NodeId(i * 5 + 4), 512))
+            .collect();
+        let (arena, _, _) = build_packets(&topo, &hw, &flows, &cfg, &rt);
+        assert!(arena.hop_delay[arena.start(0)] == 0, "guard must trip");
+        let n_channels = 2 * topo.link_count() + topo.node_count();
+        let mut legacy = arena_to_aos(&arena);
+        let st = run_arena(arena, n_channels);
+        let (old, _) = retry_polling_reference(&mut legacy, n_channels);
+        assert_eq!(st.arena.delivered_at, old);
+    }
+
+    #[test]
     fn des_energy_matches_analytical() {
         // Both models use identical path-energy accounting.
         let topo = mesh5();
@@ -647,22 +912,22 @@ mod tests {
             Flow::new(n(0, 0), n(4, 0), 64),
             Flow::new(n(1, 0), n(4, 0), 64),
         ];
-        let (mut packets, _, _) = build_packets(&topo, &hw, &flows, &cfg, &rt);
-        assert_eq!(packets.len(), 3);
+        let (arena, _, _) = build_packets(&topo, &hw, &flows, &cfg, &rt);
+        assert_eq!(arena.len(), 3);
         let n_channels = 2 * topo.link_count() + topo.node_count();
 
-        run_event_loop(&mut packets, n_channels);
+        let mut legacy = arena_to_aos(&arena);
+        let st = run_arena(arena, n_channels);
         assert!(
-            packets[2].delivered_at < packets[1].delivered_at,
+            st.arena.delivered_at[2] < st.arena.delivered_at[1],
             "FIFO: the earlier-arrived seq 2 ({}) must finish before the \
              late low-seq packet ({})",
-            packets[2].delivered_at,
-            packets[1].delivered_at
+            st.arena.delivered_at[2],
+            st.arena.delivered_at[1]
         );
 
         // The retry-polling seed loop got this backwards: at the release
         // cycle its tie-break by `seq` let packet 1 jump the queue.
-        let (mut legacy, _, _) = build_packets(&topo, &hw, &flows, &cfg, &rt);
         let (delivered, _) = retry_polling_reference(&mut legacy, n_channels);
         assert!(
             delivered[1] < delivered[2],
@@ -682,19 +947,19 @@ mod tests {
         let flows = contention_burst();
         let n_channels = 2 * topo.link_count() + topo.node_count();
 
-        let (mut packets, _, _) = build_packets(&topo, &hw, &flows, &cfg, &rt);
-        let stats = run_event_loop(&mut packets, n_channels);
-        let (mut legacy, _, _) = build_packets(&topo, &hw, &flows, &cfg, &rt);
+        let (arena, _, _) = build_packets(&topo, &hw, &flows, &cfg, &rt);
+        let mut legacy = arena_to_aos(&arena);
+        let st = run_arena(arena, n_channels);
         let (_, legacy_events) = retry_polling_reference(&mut legacy, n_channels);
 
         assert!(
-            legacy_events >= 2 * stats.heap_events,
+            legacy_events >= 2 * st.stats.heap_events,
             "retry polling {legacy_events} vs wait queues {} heap events",
-            stats.heap_events
+            st.stats.heap_events
         );
         // Both loops agree on the aggregate timeline under this funnel
         // pattern's unambiguous FIFO order.
-        assert!(stats.heap_events > 0);
+        assert!(st.stats.heap_events > 0);
     }
 
     #[test]
@@ -708,12 +973,11 @@ mod tests {
         let flows: Vec<Flow> = (0..5)
             .map(|i| Flow::new(NodeId(i * 5), NodeId(i * 5 + 4), 512))
             .collect();
-        let (mut packets, _, _) = build_packets(&topo, &hw, &flows, &cfg, &rt);
+        let (arena, _, _) = build_packets(&topo, &hw, &flows, &cfg, &rt);
         let n_channels = 2 * topo.link_count() + topo.node_count();
-        run_event_loop(&mut packets, n_channels);
-        let new: Vec<u64> = packets.iter().map(|p| p.delivered_at).collect();
-        let (mut legacy, _, _) = build_packets(&topo, &hw, &flows, &cfg, &rt);
+        let mut legacy = arena_to_aos(&arena);
+        let st = run_arena(arena, n_channels);
         let (old, _) = retry_polling_reference(&mut legacy, n_channels);
-        assert_eq!(new, old);
+        assert_eq!(st.arena.delivered_at, old);
     }
 }

@@ -25,15 +25,21 @@ impl Flow {
 /// simulation), keeping at least one byte per flow so connectivity
 /// patterns survive.
 pub fn sample_flows(flows: &[Flow], factor: u64) -> Vec<Flow> {
+    let mut out = Vec::new();
+    sample_flows_into(flows, factor, &mut out);
+    out
+}
+
+/// [`sample_flows`] into a caller-owned buffer (cleared first), so warm
+/// sweep scratch re-runs sample without allocating.
+pub fn sample_flows_into(flows: &[Flow], factor: u64, out: &mut Vec<Flow>) {
     assert!(factor > 0, "sampling factor must be positive");
-    flows
-        .iter()
-        .map(|f| Flow {
-            src: f.src,
-            dst: f.dst,
-            bytes: (f.bytes / factor).max(1),
-        })
-        .collect()
+    out.clear();
+    out.extend(flows.iter().map(|f| Flow {
+        src: f.src,
+        dst: f.dst,
+        bytes: (f.bytes / factor).max(1),
+    }));
 }
 
 /// Total payload bytes across flows.

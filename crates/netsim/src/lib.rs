@@ -39,7 +39,9 @@ mod routing;
 
 pub use analytical::{analyze, analyze_with_table, AnalyticalReport};
 pub use calendar::CalendarQueue;
-pub use des::{simulate, simulate_with_table, SimConfig, SimReport};
-pub use flow::{sample_flows, total_bytes, Flow};
+pub use des::{
+    simulate, simulate_with_scratch, simulate_with_table, SimConfig, SimReport, SimScratch,
+};
+pub use flow::{sample_flows, sample_flows_into, total_bytes, Flow};
 pub use patterns::{all_patterns, generate_pattern, generate_pipeline, TrafficPattern};
 pub use routing::RouteTable;

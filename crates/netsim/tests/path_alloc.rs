@@ -1,14 +1,16 @@
-//! Pins the allocation-free routing contract of
-//! [`netsim::RouteTable::path_into`]: once the scratch buffer has grown
-//! to the longest path, walking routes allocates nothing — and the
-//! buffer-reuse rework changes no observable simulation output (packet
-//! counts, report equality).
+//! Pins the allocation-free contracts of the netsim hot path: routing
+//! via [`netsim::RouteTable::path_into`] allocates nothing once its
+//! scratch buffer has grown to the longest path, and an entire
+//! simulation through a warm [`netsim::SimScratch`] — packet build,
+//! event loop, report assembly — allocates nothing at all. The
+//! buffer-reuse rework also changes no observable simulation output
+//! (packet counts, report equality).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use netsim::{simulate_with_table, Flow, RouteTable, SimConfig};
+use netsim::{simulate_with_scratch, simulate_with_table, Flow, RouteTable, SimConfig, SimScratch};
 use topology::{kite, mesh2d, HwParams, NodeId};
 
 /// The allocation counter is process-global, so tests in this binary
@@ -68,6 +70,46 @@ fn path_into_is_allocation_free_after_warmup() {
         "path_into must not allocate with a warmed scratch buffer"
     );
     assert!(total_hops > 0, "paths were actually walked");
+}
+
+/// The whole DES — packet segmentation, the wait-queue event loop under
+/// real contention (parks, Free events, node recycling), and report
+/// assembly — must run without a single heap allocation once the
+/// scratch is warm. The calendar keeps its grown bucket array across
+/// `clear()`, the arena and wait-node pool keep their capacity, so a
+/// steady-state sweep pays zero allocator traffic per cell.
+#[test]
+fn warm_simulate_with_scratch_is_allocation_free() {
+    let _serial = SERIAL.lock().unwrap();
+    let topo = mesh2d(6, 6).unwrap();
+    let hw = HwParams::default();
+    let rt = RouteTable::build(&topo, &hw);
+    let cfg = SimConfig { packet_bytes: 512 };
+    // Funnel plus background crossings: heavy FIFO contention, so the
+    // loop exercises park/pop and the Free re-arm path.
+    let mut flows: Vec<Flow> = (0..24)
+        .map(|i| Flow::new(NodeId(i), NodeId(35), 4096))
+        .collect();
+    flows.extend((0..12).map(|i| Flow::new(NodeId(35 - i), NodeId(i * 3 % 36), 2048)));
+
+    // Two warm-up runs: the first grows every buffer, but a mid-run
+    // calendar `grow()` redistributes events modulo the doubled bucket
+    // count, so individual bucket capacities only stabilize on the
+    // second pass (which runs start-to-finish at the final count).
+    let mut scratch = SimScratch::new();
+    let warm = simulate_with_scratch(&topo, &hw, &flows, &cfg, &rt, &mut scratch);
+    assert!(warm.total_channel_wait_cycles > 0, "pattern must contend");
+    simulate_with_scratch(&topo, &hw, &flows, &cfg, &rt, &mut scratch);
+
+    let before = alloc_count();
+    let rerun = simulate_with_scratch(&topo, &hw, &flows, &cfg, &rt, &mut scratch);
+    let after = alloc_count();
+    assert_eq!(
+        after - before,
+        0,
+        "a warm scratch re-run must not touch the allocator"
+    );
+    assert_eq!(rerun, warm, "and must stay bit-identical");
 }
 
 #[test]
