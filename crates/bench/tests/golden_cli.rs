@@ -23,7 +23,7 @@ fn golden_dir() -> PathBuf {
 fn assert_golden(args: &[&str], file: &str) {
     let actual = run_cli(args);
     let path = golden_dir().join(file);
-    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+    if pim_core::envknobs::is_set("UPDATE_GOLDEN") {
         std::fs::create_dir_all(golden_dir()).expect("golden dir");
         std::fs::write(&path, &actual).expect("write golden");
         return;
@@ -111,7 +111,7 @@ fn serving_output_is_thread_count_independent() {
     // The fleet shards across worker threads; the merged output must be
     // byte-identical at 1, 4 and 8 workers (the determinism contract of
     // the serving pipeline).
-    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+    if pim_core::envknobs::is_set("UPDATE_GOLDEN") {
         return; // the golden is being rewritten concurrently by the pin test
     }
     let expected = std::fs::read_to_string(golden_dir().join("serving.table.txt"))
@@ -130,7 +130,7 @@ fn fig3_output_is_thread_count_independent() {
     // The golden was recorded at the default worker count; one worker
     // must reproduce it byte-for-byte (the engine determinism contract,
     // now visible at the CLI boundary).
-    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+    if pim_core::envknobs::is_set("UPDATE_GOLDEN") {
         return; // the golden is being rewritten concurrently by the pin test
     }
     let single = run_cli(&["run", "fig3", "--threads", "1"]);

@@ -1267,7 +1267,9 @@ fn run_patterns(ctx: &RunContext) -> Result<ExperimentOutput, ScenarioError> {
         // order — each architecture's natural dataflow mapping.
         let order: Vec<NodeId> = match p.layout() {
             Some(layout) => layout.global_order(),
-            None => (0..p.topology().node_count() as u32).map(NodeId).collect(),
+            None => (0..topology::narrow::u32_idx(p.topology().node_count()))
+                .map(NodeId)
+                .collect(),
         };
         let flows = generate_pipeline(&order, 4096);
         let ana = analyze_with_table(p.topology(), hw, &flows, p.route_table());
@@ -1502,7 +1504,7 @@ fn run_faults(ctx: &RunContext) -> Result<ExperimentOutput, ScenarioError> {
     let rows = parallel_map(&fault_counts, runner.threads(), |&n_faults| {
         // Deterministic fault pattern: every k-th chiplet of the grid.
         let failed: Vec<NodeId> = (0..n_faults)
-            .map(|i| NodeId(((i * 37 + 13) % node_count) as u32))
+            .map(|i| NodeId(topology::narrow::u32_idx((i * 37 + 13) % node_count)))
             .collect();
         let outcome = platform.map_workload_churn_with_faults(&wl, &failed);
         let (hops, _) = platform.degraded_hops(&wl, &failed);

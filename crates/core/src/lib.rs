@@ -67,3 +67,4 @@ pub use serving::{
 pub use sweep::{
     default_threads, parallel_map, CacheStats, EvalCache, SweepRunner, CACHE_MIN_TASKS,
 };
+pub use topology::envknobs;

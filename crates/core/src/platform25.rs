@@ -630,7 +630,7 @@ impl Platform25D {
         scratch.placement_slot.clear();
         scratch.placement_slot.resize(slots, NO_SLOT);
         for (i, tp) in outcome.placements.iter().enumerate() {
-            scratch.placement_slot[tp.task.0 as usize] = i as u32;
+            scratch.placement_slot[tp.task.0 as usize] = topology::narrow::u32_idx(i);
         }
 
         // Per-task analytical accounting: every task's traffic is paid

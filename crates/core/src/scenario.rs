@@ -692,7 +692,7 @@ impl ExperimentRegistry {
         // Opt-in (PIM_BENCH_CACHE_STATS=1) so default renderings — and
         // the byte-pinned goldens — are unchanged; `pim-bench perf`
         // reads the counters directly instead.
-        if std::env::var_os("PIM_BENCH_CACHE_STATS").is_some_and(|v| !v.is_empty() && v != *"0") {
+        if crate::envknobs::flag("PIM_BENCH_CACHE_STATS") {
             if let Some(stats) = ctx.cache_stats() {
                 let delta = stats.since(before);
                 out.notes.push(format!(

@@ -60,6 +60,25 @@ impl SweepScratch {
             sampled_flows: Vec::new(),
         }
     }
+
+    /// Clears every buffer while keeping capacity. The pool deliberately
+    /// does **not** call this on `put` — the dirty-scratch equivalence
+    /// tests pin that a *dirty* scratch already behaves like a fresh one
+    /// — but the `scratch-reset` lint requires the full-coverage reset
+    /// to exist so any new field must be added here, where the
+    /// clear-before-read obligation is stated.
+    pub fn reset(&mut self) {
+        self.sim.reset();
+        self.transfers.clear();
+        self.spare_flows
+            .extend(self.task_flows.drain(..).map(|mut v| {
+                v.clear();
+                v
+            }));
+        self.placement_slot.clear();
+        self.snapshot_flows.clear();
+        self.sampled_flows.clear();
+    }
 }
 
 impl Default for SweepScratch {

@@ -256,7 +256,7 @@ fn generate_stream(spec: &ServingSpec, load: f64, seed: u64) -> Vec<Request> {
         };
         for t in sample_arrivals(&cfg, &tenant.process, horizon_ns) {
             stream.push(Request {
-                tenant: ti as u32,
+                tenant: topology::narrow::u32_idx(ti),
                 arrival_ns: t as u64,
             });
         }
@@ -425,7 +425,7 @@ fn simulate_chip_with(
                     out.rejected += 1;
                     continue;
                 }
-                queue.push_back(id as u32);
+                queue.push_back(u32::try_from(id).expect("request id fits a u32"));
                 if !busy {
                     if queue.len() >= spec.max_batch || window_ns == 0 {
                         busy = true;

@@ -132,6 +132,12 @@ type ReportKey = (&'static str, u64, &'static str, u64);
 /// [`SweepRunner`]; every lookup is keyed by the runner's config
 /// fingerprint so entries can never leak across differently-configured
 /// engines.
+///
+/// Determinism audit: all three maps are touched **only** through keyed
+/// `get`/`insert` under their mutexes — nothing ever iterates them, so
+/// their unspecified ordering cannot reach output (the `unordered-iter`
+/// pim-lint rule keeps it that way). Only [`CacheStats`] counters, which
+/// never feed golden bytes, aggregate across entries.
 pub struct EvalCache {
     fingerprint: u64,
     enabled: bool,
@@ -190,8 +196,7 @@ impl EvalCache {
     /// An empty cache for one config; `PIM_BENCH_NO_CACHE=1` (any
     /// non-`0` value) starts it bypassed.
     fn new(cfg: &SystemConfig) -> Self {
-        let bypassed =
-            std::env::var_os("PIM_BENCH_NO_CACHE").is_some_and(|v| !v.is_empty() && v != *"0");
+        let bypassed = crate::envknobs::flag("PIM_BENCH_NO_CACHE");
         EvalCache {
             fingerprint: config_fingerprint(cfg),
             enabled: !bypassed,
@@ -685,7 +690,7 @@ mod tests {
         let tiny = dnn::Workload {
             name: "tiny".into(),
             mix: vec![dnn::MixEntry {
-                count: (CACHE_MIN_TASKS - 1) as u32,
+                count: topology::narrow::u32_idx(CACHE_MIN_TASKS - 1),
                 model_index: 0,
             }],
             paper_total_params_b: 0.0,

@@ -257,7 +257,7 @@ impl GraphBuilder {
         kind: LayerKind,
         out_shape: TensorShape,
     ) -> LayerId {
-        let id = LayerId(self.layers.len() as u32);
+        let id = LayerId(u32::try_from(self.layers.len()).expect("layer count fits a u32 id"));
         self.layers.push(Layer {
             id,
             name: name.into(),
@@ -320,7 +320,7 @@ impl GraphBuilder {
         bias: bool,
     ) -> Result<LayerId, GraphError> {
         let in_shape = self.shape_of(from)?;
-        let in_f = in_shape.numel() as u32;
+        let in_f = u32::try_from(in_shape.numel()).expect("feature count fits a u32");
         Ok(self.push(
             &[(from, EdgeKind::Sequential)],
             name,

@@ -85,7 +85,10 @@ pub fn googlenet(dataset: Dataset) -> Result<LayerGraph, GraphError> {
         cur = inception(
             &mut g,
             cur,
-            &format!("inception3{}", (b'a' + i as u8) as char),
+            &format!(
+                "inception3{}",
+                (b'a' + u8::try_from(i).expect("inception block index fits a u8")) as char
+            ),
             cfg,
             double_b3,
         )?;
@@ -95,7 +98,10 @@ pub fn googlenet(dataset: Dataset) -> Result<LayerGraph, GraphError> {
         cur = inception(
             &mut g,
             cur,
-            &format!("inception4{}", (b'a' + i as u8) as char),
+            &format!(
+                "inception4{}",
+                (b'a' + u8::try_from(i).expect("inception block index fits a u8")) as char
+            ),
             cfg,
             double_b3,
         )?;
@@ -105,7 +111,10 @@ pub fn googlenet(dataset: Dataset) -> Result<LayerGraph, GraphError> {
         cur = inception(
             &mut g,
             cur,
-            &format!("inception5{}", (b'a' + i as u8) as char),
+            &format!(
+                "inception5{}",
+                (b'a' + u8::try_from(i).expect("inception block index fits a u8")) as char
+            ),
             cfg,
             double_b3,
         )?;

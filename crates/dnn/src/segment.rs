@@ -138,7 +138,8 @@ impl SegmentGraph {
             let li = layer.id.index();
             let anchors = layer.kind.is_weighted() || primary[li].is_none();
             if anchors {
-                let sid = SegmentId(segments.len() as u32);
+                let sid =
+                    SegmentId(u32::try_from(segments.len()).expect("segment count fits a u32 id"));
                 owner[li] = sid.0;
                 let (weight_rows, weight_cols) = match layer.kind {
                     crate::layer::LayerKind::Conv2d {

@@ -1,0 +1,534 @@
+//! A hand-rolled Rust lexer, just deep enough for reliable token-level
+//! static analysis.
+//!
+//! The rules in this crate must never fire on text inside string
+//! literals, comments, or char literals, and must never confuse a
+//! lifetime with a char or a raw identifier with a keyword — those are
+//! exactly the places a grep-based lint goes wrong. The lexer therefore
+//! handles, precisely:
+//!
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! - string, raw string (`r"…"`, `r#"…"#`, any hash count), byte
+//!   string, raw byte string, char, and byte-char literals, with
+//!   escapes;
+//! - the lifetime-vs-char-literal ambiguity (`'a` vs `'a'`);
+//! - raw identifiers (`r#type` is an identifier whose text is `type`
+//!   but which is *not* the keyword);
+//! - numeric literals with radix prefixes, underscores, exponents, and
+//!   type suffixes (without eating `..` range puncts).
+//!
+//! Everything else comes out as one-character [`TokenKind::Punct`]
+//! tokens; the rules match multi-character operators (`::`) as adjacent
+//! punct tokens. Positions are 1-based line and column (in characters,
+//! matching what editors display).
+
+/// What a [`Token`] is. Keywords are ordinary [`TokenKind::Ident`]s —
+/// rules that care about `as` or `for` match on the token text, and use
+/// the kind to avoid matching the raw identifier `r#as`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `as`, `HashMap`).
+    Ident,
+    /// Raw identifier (`r#type`); `text()` excludes the `r#` prefix.
+    RawIdent,
+    /// Lifetime or loop label (`'a`, `'static`), without the quote.
+    Lifetime,
+    /// String / raw string / byte-string literal, quotes included.
+    Str,
+    /// Char or byte-char literal, quotes included.
+    Char,
+    /// Numeric literal, suffix included (`0xFFFF_FFFF`, `1.5e-3f64`).
+    Num,
+    /// A single punctuation character.
+    Punct,
+    /// `// …` comment, newline excluded.
+    LineComment,
+    /// `/* … */` comment (nesting handled), delimiters included.
+    BlockComment,
+}
+
+/// One lexed token: a kind plus a byte span into the source and the
+/// 1-based line/column of its first character.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first character (for [`TokenKind::RawIdent`],
+    /// of the character after `r#`).
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    pub line: usize,
+    pub col: usize,
+}
+
+impl Token {
+    /// The token's text within `src` (the source it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// True for an identifier (raw or not) whose text is `name`.
+    pub fn is_ident(&self, src: &str, name: &str) -> bool {
+        matches!(self.kind, TokenKind::Ident | TokenKind::RawIdent) && self.text(src) == name
+    }
+
+    /// True for the *keyword* `kw` — a plain identifier with that text
+    /// (`r#as` is an identifier named "as", not the keyword).
+    pub fn is_keyword(&self, src: &str, kw: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text(src) == kw
+    }
+
+    /// True for the punctuation character `c`.
+    pub fn is_punct(&self, src: &str, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text(src).starts_with(c)
+    }
+
+    /// True for either comment kind.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into tokens. Unterminated constructs (string, block
+/// comment) consume to end of input rather than erroring: the linter
+/// must keep going on any input, and rustc will reject such a file
+/// anyway.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    /// Advances one **character** (multi-byte UTF-8 advances by the
+    /// full encoding), maintaining line/col.
+    fn bump(&mut self) {
+        let b = self.bytes[self.pos];
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+            self.pos += 1;
+        } else {
+            let ch_len = self.src[self.pos..]
+                .chars()
+                .next()
+                .map(char::len_utf8)
+                .unwrap_or(1);
+            self.col += 1;
+            self.pos += ch_len;
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: usize, col: usize) {
+        self.tokens.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(b) = self.peek() {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek_at(1) == Some(b'/') => {
+                    while self.peek().is_some_and(|c| c != b'\n') {
+                        self.bump();
+                    }
+                    self.push(TokenKind::LineComment, start, line, col);
+                }
+                b'/' if self.peek_at(1) == Some(b'*') => {
+                    self.block_comment();
+                    self.push(TokenKind::BlockComment, start, line, col);
+                }
+                b'r' if self.raw_string_hashes().is_some() => {
+                    let hashes = self.raw_string_hashes().unwrap();
+                    self.bump(); // r
+                    self.raw_string_body(hashes);
+                    self.push(TokenKind::Str, start, line, col);
+                }
+                b'r' if self.peek_at(1) == Some(b'#')
+                    && self.peek_at(2).is_some_and(is_ident_start) =>
+                {
+                    self.bump(); // r
+                    self.bump(); // #
+                    let id_start = self.pos;
+                    self.ident_tail();
+                    self.tokens.push(Token {
+                        kind: TokenKind::RawIdent,
+                        start: id_start,
+                        end: self.pos,
+                        line,
+                        col,
+                    });
+                }
+                b'b' if self.peek_at(1) == Some(b'\'') => {
+                    self.bump(); // b
+                    self.char_literal();
+                    self.push(TokenKind::Char, start, line, col);
+                }
+                b'b' if self.peek_at(1) == Some(b'"') => {
+                    self.bump(); // b
+                    self.quoted_string();
+                    self.push(TokenKind::Str, start, line, col);
+                }
+                b'b' if self.peek_at(1) == Some(b'r') && self.byte_raw_hashes().is_some() => {
+                    let hashes = self.byte_raw_hashes().unwrap();
+                    self.bump(); // b
+                    self.bump(); // r
+                    self.raw_string_body(hashes);
+                    self.push(TokenKind::Str, start, line, col);
+                }
+                b'"' => {
+                    self.quoted_string();
+                    self.push(TokenKind::Str, start, line, col);
+                }
+                b'\'' => {
+                    if self.is_lifetime() {
+                        self.bump(); // '
+                        let id_start = self.pos;
+                        self.ident_tail();
+                        self.tokens.push(Token {
+                            kind: TokenKind::Lifetime,
+                            start: id_start,
+                            end: self.pos,
+                            line,
+                            col,
+                        });
+                    } else {
+                        self.char_literal();
+                        self.push(TokenKind::Char, start, line, col);
+                    }
+                }
+                b'0'..=b'9' => {
+                    self.number();
+                    self.push(TokenKind::Num, start, line, col);
+                }
+                _ if is_ident_start(b) || b >= 0x80 => {
+                    // Non-ASCII identifier starts are rare in this
+                    // workspace but cost nothing to accept.
+                    self.ident_tail();
+                    self.push(TokenKind::Ident, start, line, col);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    /// If the cursor sits on `r"` / `r#…#"`, the number of hashes.
+    fn raw_string_hashes(&self) -> Option<usize> {
+        let mut off = 1;
+        while self.peek_at(off) == Some(b'#') {
+            off += 1;
+        }
+        (self.peek_at(off) == Some(b'"')).then_some(off - 1)
+    }
+
+    /// If the cursor sits on `br"` / `br#…#"`, the number of hashes.
+    fn byte_raw_hashes(&self) -> Option<usize> {
+        let mut off = 2;
+        while self.peek_at(off) == Some(b'#') {
+            off += 1;
+        }
+        (self.peek_at(off) == Some(b'"')).then_some(off - 2)
+    }
+
+    /// Consumes `#…#"body"#…#` with `hashes` hashes (cursor after the
+    /// `r` / `br` prefix).
+    fn raw_string_body(&mut self, hashes: usize) {
+        for _ in 0..hashes {
+            self.bump(); // leading #
+        }
+        self.bump(); // opening "
+        loop {
+            match self.peek() {
+                None => return,
+                Some(b'"') => {
+                    self.bump();
+                    let mut seen = 0;
+                    while seen < hashes && self.peek() == Some(b'#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        return;
+                    }
+                }
+                Some(_) => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes a `"…"` with backslash escapes (cursor on the quote).
+    fn quoted_string(&mut self) {
+        self.bump(); // opening "
+        loop {
+            match self.peek() {
+                None => return,
+                Some(b'\\') => {
+                    self.bump();
+                    if self.peek().is_some() {
+                        self.bump();
+                    }
+                }
+                Some(b'"') => {
+                    self.bump();
+                    return;
+                }
+                Some(_) => self.bump(),
+            }
+        }
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'a'` (char literal), cursor
+    /// on the quote. `'\…` is always a char; `'x` followed by another
+    /// quote is a char; otherwise an identifier start means lifetime.
+    fn is_lifetime(&self) -> bool {
+        match self.peek_at(1) {
+            Some(b'\\') => false,
+            Some(c) if is_ident_start(c) => {
+                // 'a' → char; 'ab (impossible in valid Rust as a char)
+                // and 'a  → lifetime.
+                let mut off = 2;
+                while self.peek_at(off).is_some_and(is_ident_continue) {
+                    off += 1;
+                }
+                self.peek_at(off) != Some(b'\'')
+            }
+            _ => false,
+        }
+    }
+
+    /// Consumes `'…'` (cursor on the quote) with escapes.
+    fn char_literal(&mut self) {
+        self.bump(); // opening '
+        loop {
+            match self.peek() {
+                None => return,
+                Some(b'\\') => {
+                    self.bump();
+                    if self.peek().is_some() {
+                        self.bump();
+                    }
+                }
+                Some(b'\'') => {
+                    self.bump();
+                    return;
+                }
+                Some(_) => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes a numeric literal: radix prefixes, underscores, a
+    /// fraction only when a digit follows the dot (so `1..n` lexes as
+    /// `1`, `.`, `.`, `n`), exponents, and trailing type suffixes.
+    fn number(&mut self) {
+        if self.peek() == Some(b'0')
+            && matches!(
+                self.peek_at(1),
+                Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B')
+            )
+        {
+            self.bump();
+            self.bump();
+            while self
+                .peek()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+            {
+                self.bump();
+            }
+            return;
+        }
+        while self.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+            self.bump();
+        }
+        if self.peek() == Some(b'.') && self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump(); // .
+            while self.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E'))
+            && (self.peek_at(1).is_some_and(|c| c.is_ascii_digit())
+                || (matches!(self.peek_at(1), Some(b'+' | b'-'))
+                    && self.peek_at(2).is_some_and(|c| c.is_ascii_digit())))
+        {
+            self.bump(); // e
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.bump();
+            }
+            while self.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                self.bump();
+            }
+        }
+        // Type suffix (u32, f64, usize, …).
+        while self.peek().is_some_and(is_ident_continue) {
+            self.bump();
+        }
+    }
+
+    /// Consumes `/* … */` with nesting (cursor on the `/`).
+    fn block_comment(&mut self) {
+        self.bump(); // /
+        self.bump(); // *
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (None, _) => return,
+                (Some(b'/'), Some(b'*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    fn ident_tail(&mut self) {
+        while self
+            .peek()
+            .is_some_and(|c| is_ident_continue(c) || c >= 0x80)
+        {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_raw_idents() {
+        let toks = kinds("let r#as = x as u32;");
+        assert_eq!(toks[0], (TokenKind::Ident, "let".into()));
+        assert_eq!(toks[1], (TokenKind::RawIdent, "as".into()));
+        assert_eq!(toks[3], (TokenKind::Ident, "x".into()));
+        assert_eq!(toks[4], (TokenKind::Ident, "as".into()));
+        assert_eq!(toks[5], (TokenKind::Ident, "u32".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r##"let s = "x as u32 // not a comment"; let r = r#"env::var "quoted""#;"##;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .all(|(k, _)| !matches!(k, TokenKind::LineComment)));
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[1].1.contains("env::var"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0].1, "a");
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert_eq!(toks[2].1, "b");
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds(r"fn f<'a>(x: &'a str) { let c = 'a'; let e = '\''; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+        assert_eq!(chars[0].1, "'a'");
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds(r###"let a = b"bytes"; let b = br#"raw "bytes""#; let c = b'x';"###);
+        let strs = toks.iter().filter(|(k, _)| *k == TokenKind::Str).count();
+        let chars = toks.iter().filter(|(k, _)| *k == TokenKind::Char).count();
+        assert_eq!(strs, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = kinds("for i in 0..10 { let x = 1_000u64; let y = 0xFFFF_FFFF; }");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Num)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "10", "1_000u64", "0xFFFF_FFFF"]);
+        let floats = kinds("1.5e-3 + 2. + x.max(1)");
+        assert_eq!(floats[0].1, "1.5e-3");
+        // `2.` lexes as 2 then punct `.` under the digit-after-dot rule;
+        // good enough — nothing downstream cares, and `x.max` survives.
+        assert!(floats.iter().any(|(_, t)| t == "max"));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let src = "ab\n  cd // note\n\"s\"";
+        let toks = lex(src);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!(toks[2].kind, TokenKind::LineComment);
+        assert_eq!((toks[3].line, toks[3].col), (3, 1));
+    }
+}

@@ -1,0 +1,401 @@
+//! `pim-lint` — workspace-wide determinism & invariant static analysis.
+//!
+//! The repo's value proposition — golden-pinned figures, bit-identical
+//! output at any thread count, dirty-vs-fresh scratch reuse — rests on
+//! a determinism contract that the test suite enforces only
+//! dynamically. This crate enforces the hazard classes *statically*: a
+//! hand-rolled lexer (so string literals and comments can never
+//! confuse a rule) feeds a small rule engine that walks every
+//! workspace `.rs` file and emits `file:line:col` diagnostics.
+//!
+//! The rule catalogue lives in [`rules`] and is documented for humans
+//! in `docs/LINT.md`. Violations that are genuinely intended carry an
+//! escape hatch comment, which **must** include a written reason:
+//!
+//! ```text
+//! // pim-lint: allow(truncating-cast) -- masked to 16 bits two tokens earlier
+//! ```
+//!
+//! A trailing allow suppresses matching diagnostics on its own line; an
+//! allow alone on a line suppresses them on the next code line. An
+//! allow with no reason, an unknown rule id, or no effect is itself a
+//! diagnostic (`malformed-allow` / `unused-allow`), so stale escapes
+//! cannot accumulate.
+//!
+//! Structs can opt into the scratch-reset rule with a marker comment:
+//!
+//! ```text
+//! // pim-lint: scratch
+//! struct MyScratch { … }
+//! ```
+
+pub mod lexer;
+pub mod rules;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use lexer::{lex, Token};
+use rules::Rule;
+
+/// One `file:line:col` finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated on every platform.
+    pub path: String,
+    pub line: usize,
+    pub col: usize,
+    /// Rule id (`truncating-cast`, …, or the engine's `malformed-allow`
+    /// / `unused-allow`).
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}: {}",
+            self.path, self.line, self.col, self.rule, self.msg
+        )
+    }
+}
+
+/// A parsed `// pim-lint: allow(<rule>) -- <reason>` comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub rule: String,
+    /// Line the comment sits on.
+    pub line: usize,
+    pub col: usize,
+    /// Line whose diagnostics it suppresses (its own for a trailing
+    /// comment, the next code line for an own-line comment).
+    pub target_line: usize,
+    /// Empty when the author omitted the mandatory `-- <reason>`.
+    pub reason: String,
+}
+
+/// One lexed source file plus everything the rules need: the code-only
+/// token view, parsed allow comments, and `pim-lint: scratch` markers.
+pub struct SourceFile {
+    /// Workspace-relative path used in diagnostics.
+    pub path: String,
+    pub text: String,
+    /// Every token, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of non-comment tokens — the view rules
+    /// match against.
+    pub code: Vec<usize>,
+    pub allows: Vec<Allow>,
+    /// Lines of `// pim-lint: scratch` markers; the next `struct` at or
+    /// below the marker opts into the scratch-reset rule.
+    pub scratch_marker_lines: Vec<usize>,
+    /// `(line, col)` of comments that contained `pim-lint:` but parsed
+    /// as neither `scratch` nor a well-formed allow.
+    malformed: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Lexes `text` and parses its lint-control comments. `path` is the
+    /// workspace-relative path used for diagnostics and scoping.
+    pub fn parse(path: &str, text: String) -> SourceFile {
+        let tokens = lex(&text);
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+            .map(|(i, _)| i)
+            .collect();
+        let mut allows = Vec::new();
+        let mut scratch_marker_lines = Vec::new();
+        let mut malformed = Vec::new();
+        for (i, t) in tokens.iter().enumerate() {
+            if !t.is_comment() {
+                continue;
+            }
+            let body = t.text(&text);
+            // Directives live in plain comments only: doc comments are
+            // documentation (they may *show* the syntax, as this
+            // crate's own rustdoc does) and never carry directives.
+            let is_doc = (body.starts_with("///") && !body.starts_with("////"))
+                || body.starts_with("//!")
+                || (body.starts_with("/**") && body.len() > 4)
+                || body.starts_with("/*!");
+            if is_doc {
+                continue;
+            }
+            let Some(at) = body.find("pim-lint:") else {
+                continue;
+            };
+            let directive = body[at + "pim-lint:".len()..]
+                .trim()
+                .trim_end_matches("*/")
+                .trim();
+            if directive == "scratch" {
+                scratch_marker_lines.push(t.line);
+                continue;
+            }
+            match parse_allow(directive) {
+                Some((rule, reason)) => {
+                    // A comment that is the first token on its line
+                    // targets the next code line; a trailing comment
+                    // targets its own line.
+                    let own_line = tokens[..i]
+                        .iter()
+                        .rev()
+                        .take_while(|p| p.line == t.line)
+                        .count()
+                        == 0;
+                    let target_line = if own_line {
+                        tokens[i + 1..]
+                            .iter()
+                            .find(|n| !n.is_comment())
+                            .map(|n| n.line)
+                            .unwrap_or(t.line)
+                    } else {
+                        t.line
+                    };
+                    allows.push(Allow {
+                        rule,
+                        line: t.line,
+                        col: t.col,
+                        target_line,
+                        reason,
+                    });
+                }
+                None => malformed.push((t.line, t.col)),
+            }
+        }
+        SourceFile {
+            path: path.to_string(),
+            text,
+            tokens,
+            code,
+            allows,
+            scratch_marker_lines,
+            malformed,
+        }
+    }
+
+    /// Comment tokens that contained `pim-lint:` but parsed as neither
+    /// `scratch` nor a well-formed `allow(rule) -- reason`.
+    pub fn malformed_directives(&self) -> &[(usize, usize)] {
+        &self.malformed
+    }
+}
+
+/// Parses `allow(<rule>) -- <reason>`; `None` when malformed or the
+/// reason is missing/empty.
+fn parse_allow(directive: &str) -> Option<(String, String)> {
+    let rest = directive.strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim();
+    if rule.is_empty() || !rule.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-') {
+        return None;
+    }
+    let tail = rest[close + 1..].trim_start();
+    let reason = tail.strip_prefix("--")?.trim();
+    if reason.is_empty() {
+        return None;
+    }
+    Some((rule.to_string(), reason.to_string()))
+}
+
+/// Where a file sits in the workspace — rules scope themselves on this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileClass {
+    /// Crate directory name (`core`, `netsim`, …), `"workspace-root"`
+    /// for the umbrella crate's `src/` and root `tests/`/`examples/`.
+    pub crate_name: String,
+    pub kind: FileKind,
+}
+
+/// The target kind a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/` of some crate — code that can feed golden output.
+    Src,
+    /// Integration tests (`tests/`).
+    Test,
+    /// Criterion benches (`benches/`).
+    Bench,
+    /// `examples/`.
+    Example,
+}
+
+/// Classifies a workspace-relative, `/`-separated path.
+pub fn classify(rel: &str) -> FileClass {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let (crate_name, rest): (String, &[&str]) =
+        if parts.first() == Some(&"crates") && parts.len() > 2 {
+            (parts[1].to_string(), &parts[2..])
+        } else {
+            ("workspace-root".to_string(), &parts[..])
+        };
+    let kind = match rest.first() {
+        Some(&"tests") => FileKind::Test,
+        Some(&"benches") => FileKind::Bench,
+        Some(&"examples") => FileKind::Example,
+        _ => FileKind::Src,
+    };
+    FileClass { crate_name, kind }
+}
+
+/// Lints one parsed file with every applicable rule, applying allow
+/// suppression and emitting the engine's own `malformed-allow` /
+/// `unused-allow` diagnostics.
+pub fn lint_file(sf: &SourceFile, rules: &[Box<dyn Rule>]) -> Vec<Diagnostic> {
+    let class = classify(&sf.path);
+    let mut raw = Vec::new();
+    for rule in rules {
+        if rule.applies(&class) {
+            raw.extend(rule.check(sf));
+        }
+    }
+    let known: Vec<&str> = rules.iter().map(|r| r.id()).collect();
+    let mut out = Vec::new();
+    let mut used = vec![false; sf.allows.len()];
+    for d in raw {
+        let suppressed = sf
+            .allows
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.rule == d.rule && a.target_line == d.line);
+        match suppressed {
+            Some((i, _)) => used[i] = true,
+            None => out.push(d),
+        }
+    }
+    for (line, col) in sf.malformed_directives() {
+        out.push(Diagnostic {
+            path: sf.path.clone(),
+            line: *line,
+            col: *col,
+            rule: "malformed-allow",
+            msg: "unparseable pim-lint directive; expected `allow(<rule>) -- <reason>` \
+                  (the reason is mandatory) or `scratch`"
+                .to_string(),
+        });
+    }
+    for (a, used) in sf.allows.iter().zip(&used) {
+        if !known.contains(&a.rule.as_str()) {
+            out.push(Diagnostic {
+                path: sf.path.clone(),
+                line: a.line,
+                col: a.col,
+                rule: "malformed-allow",
+                msg: format!("allow names unknown rule `{}`", a.rule),
+            });
+        } else if !used {
+            out.push(Diagnostic {
+                path: sf.path.clone(),
+                line: a.line,
+                col: a.col,
+                rule: "unused-allow",
+                msg: format!(
+                    "allow({}) suppresses nothing on line {}; delete it",
+                    a.rule, a.target_line
+                ),
+            });
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+/// Walks the workspace from `root` and returns every `.rs` file the
+/// linter owns, sorted, as workspace-relative `/`-separated paths.
+///
+/// Excluded: `vendor/` (third-party subsets, not ours), `target/`,
+/// hidden directories, and the linter's own fixture corpus (which
+/// contains violations *on purpose*).
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for p in entries {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if p.is_dir() {
+                if name == "vendor"
+                    || name == "target"
+                    || name == "fixtures"
+                    || name.starts_with('.')
+                {
+                    continue;
+                }
+                stack.push(p);
+            } else if name.ends_with(".rs") {
+                let rel = p
+                    .strip_prefix(root)
+                    .unwrap_or(&p)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lints `files` (workspace-relative paths under `root`) with the full
+/// rule set; diagnostics come back sorted by path, then position.
+pub fn run(root: &Path, files: &[String]) -> std::io::Result<Vec<Diagnostic>> {
+    let rules = rules::all_rules();
+    let mut out = Vec::new();
+    for rel in files {
+        let text = std::fs::read_to_string(root.join(rel))?;
+        let sf = SourceFile::parse(rel, text);
+        out.extend(lint_file(&sf, &rules));
+    }
+    out.sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(
+            classify("crates/core/src/sweep.rs"),
+            FileClass {
+                crate_name: "core".into(),
+                kind: FileKind::Src
+            }
+        );
+        assert_eq!(
+            classify("crates/netsim/tests/props.rs").kind,
+            FileKind::Test
+        );
+        assert_eq!(classify("crates/bench/benches/b.rs").kind, FileKind::Bench);
+        assert_eq!(classify("src/lib.rs").crate_name, "workspace-root");
+        assert_eq!(classify("tests/smoke.rs").kind, FileKind::Test);
+        assert_eq!(classify("examples/quickstart.rs").kind, FileKind::Example);
+    }
+
+    #[test]
+    fn allow_parsing_demands_a_reason() {
+        assert!(parse_allow("allow(env-read) -- sole chokepoint").is_some());
+        assert!(parse_allow("allow(env-read)").is_none());
+        assert!(parse_allow("allow(env-read) --   ").is_none());
+        assert!(parse_allow("allow() -- reason").is_none());
+        assert!(parse_allow("allow(bad rule) -- reason").is_none());
+    }
+
+    #[test]
+    fn trailing_vs_own_line_allow_targets() {
+        let src = "// pim-lint: allow(truncating-cast) -- next line\nlet a = x as u32;\nlet b = y as u16; // pim-lint: allow(truncating-cast) -- same line\n";
+        let sf = SourceFile::parse("crates/core/src/f.rs", src.to_string());
+        assert_eq!(sf.allows.len(), 2);
+        assert_eq!(sf.allows[0].target_line, 2);
+        assert_eq!(sf.allows[1].target_line, 3);
+    }
+}

@@ -1,0 +1,187 @@
+//! `pim-lint` — the workspace determinism/invariant linter CLI.
+//!
+//! ```text
+//! pim-lint --workspace [--root <dir>] [--summary <file>]
+//! pim-lint [--root <dir>] <paths…>
+//! pim-lint --list-rules
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workspace = false;
+    let mut list_rules = false;
+    let mut root: Option<PathBuf> = None;
+    let mut summary: Option<PathBuf> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--list-rules" => list_rules = true,
+            "--root" => match it.next() {
+                Some(r) => root = Some(PathBuf::from(r)),
+                None => return usage("--root needs a directory"),
+            },
+            "--summary" => match it.next() {
+                Some(s) => summary = Some(PathBuf::from(s)),
+                None => return usage("--summary needs a file path"),
+            },
+            "--help" | "-h" => {
+                print!("{}", USAGE);
+                return ExitCode::SUCCESS;
+            }
+            _ if a.starts_with('-') => return usage(&format!("unknown flag `{a}`")),
+            _ => paths.push(a),
+        }
+    }
+
+    if list_rules {
+        for rule in lint::rules::all_rules() {
+            println!("{:<16} {}", rule.id(), rule.summary());
+        }
+        println!(
+            "{:<16} allow comments must parse and carry a reason",
+            "malformed-allow"
+        );
+        println!(
+            "{:<16} allow comments that suppress nothing are stale",
+            "unused-allow"
+        );
+        return ExitCode::SUCCESS;
+    }
+    if !workspace && paths.is_empty() {
+        return usage("nothing to lint: pass --workspace or explicit paths");
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => match find_workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("pim-lint: no workspace root found above the current directory");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let files = if workspace {
+        match lint::workspace_files(&root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("pim-lint: walking {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut out = Vec::new();
+        for p in &paths {
+            let full = root.join(p);
+            if full.is_dir() {
+                match lint::workspace_files(&full) {
+                    Ok(sub) => out.extend(sub.into_iter().map(|s| format!("{p}/{s}"))),
+                    Err(e) => {
+                        eprintln!("pim-lint: walking {p}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            } else {
+                out.push(p.clone());
+            }
+        }
+        out
+    };
+
+    let diags = match lint::run(&root, &files) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("pim-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for d in &diags {
+        println!("{d}");
+    }
+    let report = render_summary(files.len(), &diags);
+    if !diags.is_empty() {
+        print!("{report}");
+    }
+    if let Some(path) = summary {
+        if let Err(e) = std::fs::write(&path, &report) {
+            eprintln!("pim-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+const USAGE: &str = "\
+pim-lint: workspace-wide determinism & invariant static analysis
+
+USAGE:
+    pim-lint --workspace [--root <dir>] [--summary <file>]
+    pim-lint [--root <dir>] <workspace-relative paths…>
+    pim-lint --list-rules
+
+Exit codes: 0 clean, 1 violations, 2 usage/io error.
+See docs/LINT.md for the rule catalogue and the allow syntax.
+";
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("pim-lint: {err}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Ascends from the current directory to the first `Cargo.toml` that
+/// declares `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// The human/CI summary: per-rule counts plus every diagnostic line.
+fn render_summary(files: usize, diags: &[lint::Diagnostic]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let mut counts: Vec<(&'static str, usize)> = Vec::new();
+    for d in diags {
+        match counts.iter_mut().find(|(r, _)| *r == d.rule) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((d.rule, 1)),
+        }
+    }
+    counts.sort();
+    let _ = writeln!(
+        out,
+        "pim-lint: {} file(s) scanned, {} diagnostic(s)",
+        files,
+        diags.len()
+    );
+    for (rule, n) in counts {
+        let _ = writeln!(out, "  {rule:<16} {n}");
+    }
+    for d in diags {
+        let _ = writeln!(out, "{d}");
+    }
+    out
+}

@@ -1,0 +1,786 @@
+//! The rule catalogue. Every rule works on the comment-free code-token
+//! view of a [`SourceFile`] and scopes itself by [`FileClass`] — see
+//! `docs/LINT.md` for the human-facing catalogue and the rationale
+//! behind each rule.
+
+use crate::lexer::{Token, TokenKind};
+use crate::{Diagnostic, FileClass, FileKind, SourceFile};
+
+/// One static-analysis rule.
+pub trait Rule {
+    /// Stable id used in diagnostics and allow comments.
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list-rules` and the docs.
+    fn summary(&self) -> &'static str;
+    /// Whether this rule runs on files of the given class.
+    fn applies(&self, class: &FileClass) -> bool;
+    fn check(&self, sf: &SourceFile) -> Vec<Diagnostic>;
+}
+
+/// The crates whose code executes *inside* a simulation — where a wall
+/// clock or ambient entropy read poisons reproducibility directly.
+pub const SIM_CRATES: &[&str] = &["core", "netsim", "mapper", "pim", "thermal"];
+
+/// The full rule set, in catalogue order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(UnorderedIter),
+        Box::new(WallClock),
+        Box::new(TruncatingCast),
+        Box::new(ScratchReset),
+        Box::new(EnvRead),
+    ]
+}
+
+/// Bounds-checked cursor over the code-only token view.
+struct Code<'a> {
+    sf: &'a SourceFile,
+}
+
+impl<'a> Code<'a> {
+    fn new(sf: &'a SourceFile) -> Self {
+        Code { sf }
+    }
+
+    fn len(&self) -> usize {
+        self.sf.code.len()
+    }
+
+    fn tok(&self, i: usize) -> Option<&'a Token> {
+        self.sf.code.get(i).map(|&ti| &self.sf.tokens[ti])
+    }
+
+    fn text(&self, i: usize) -> &'a str {
+        self.tok(i).map(|t| t.text(&self.sf.text)).unwrap_or("")
+    }
+
+    fn is_kw(&self, i: usize, kw: &str) -> bool {
+        self.tok(i).is_some_and(|t| t.is_keyword(&self.sf.text, kw))
+    }
+
+    fn is_ident_tok(&self, i: usize) -> bool {
+        self.tok(i)
+            .is_some_and(|t| matches!(t.kind, TokenKind::Ident | TokenKind::RawIdent))
+    }
+
+    fn is_punct(&self, i: usize, c: char) -> bool {
+        self.tok(i).is_some_and(|t| t.is_punct(&self.sf.text, c))
+    }
+
+    /// True when token `i` is a lone `:` (not part of `::`).
+    fn is_single_colon(&self, i: usize) -> bool {
+        self.is_punct(i, ':') && !self.is_punct(i + 1, ':') && !(i > 0 && self.is_punct(i - 1, ':'))
+    }
+
+    fn diag(&self, i: usize, rule: &'static str, msg: String) -> Diagnostic {
+        let t = self.tok(i).expect("diag at valid token");
+        Diagnostic {
+            path: self.sf.path.clone(),
+            line: t.line,
+            col: t.col,
+            rule,
+            msg,
+        }
+    }
+
+    /// Index just past the delimiter run opened at `open` (`(`, `[` or
+    /// `{`), treating all three bracket kinds as one nesting discipline.
+    fn skip_balanced(&self, open: usize) -> usize {
+        let mut depth = 0usize;
+        let mut i = open;
+        while let Some(t) = self.tok(i) {
+            match t.text(&self.sf.text) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        i
+    }
+
+    /// Index of the opener matching the closer at `close`, scanning
+    /// backward.
+    fn skip_balanced_back(&self, close: usize) -> usize {
+        let mut depth = 0usize;
+        let mut i = close;
+        loop {
+            match self.text(i) {
+                ")" | "]" | "}" => depth += 1,
+                "(" | "[" | "{" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+            if i == 0 {
+                return 0;
+            }
+            i -= 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: unordered-iter
+// ---------------------------------------------------------------------------
+
+/// Methods whose call on a hash container observes its (randomized, or
+/// at best unspecified) iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+    "extract_if",
+];
+
+/// Hash container type names whose iteration order is unordered.
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// No `HashMap`/`HashSet` **iteration** in code that can feed golden
+/// output. Keyed lookup (`get`/`insert`/`contains_key`/indexing) is
+/// fine — only order-observing operations are flagged. The rule tracks,
+/// per file, every binding/field whose declared type or initializer
+/// mentions a hash container, then flags `for … in` loops and
+/// iteration-method calls whose receiver chain touches one.
+pub struct UnorderedIter;
+
+impl UnorderedIter {
+    /// Names bound to hash containers in this file: `name: …HashMap…`
+    /// (let, field, or parameter type) and `let name = …HashMap…;`.
+    fn hash_names(c: &Code<'_>) -> Vec<String> {
+        let mut names = Vec::new();
+        for i in 0..c.len() {
+            // `NAME : <type containing HashMap/HashSet>`
+            if c.is_ident_tok(i) && c.is_single_colon(i + 1) {
+                if Self::type_mentions_hash(c, i + 2) {
+                    names.push(c.text(i).to_string());
+                }
+                continue;
+            }
+            // `let [mut] NAME = <expr containing HashMap/HashSet> ;`
+            if c.is_kw(i, "let") {
+                let mut j = i + 1;
+                if c.is_kw(j, "mut") {
+                    j += 1;
+                }
+                if c.is_ident_tok(j) && c.is_punct(j + 1, '=') && !c.is_punct(j + 2, '=') {
+                    let mut k = j + 2;
+                    let mut steps = 0;
+                    while let Some(t) = c.tok(k) {
+                        if t.is_punct(&c.sf.text, ';') || steps > 192 {
+                            break;
+                        }
+                        if HASH_TYPES.contains(&t.text(&c.sf.text)) {
+                            names.push(c.text(j).to_string());
+                            break;
+                        }
+                        k += 1;
+                        steps += 1;
+                    }
+                }
+            }
+        }
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Scans a type position starting at `start` until a depth-0
+    /// terminator, looking for a hash container name.
+    fn type_mentions_hash(c: &Code<'_>, start: usize) -> bool {
+        let mut depth = 0i32;
+        let mut i = start;
+        let mut steps = 0;
+        while let Some(t) = c.tok(i) {
+            let txt = t.text(&c.sf.text);
+            match txt {
+                "<" | "(" | "[" => depth += 1,
+                ">" => {
+                    // `->` return arrows don't close a generic list.
+                    if !(i > 0 && c.is_punct(i - 1, '-')) {
+                        depth -= 1;
+                        if depth < 0 {
+                            return false;
+                        }
+                    }
+                }
+                ")" | "]" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return false;
+                    }
+                }
+                "," | ";" | "=" | "{" | "}" if depth == 0 => return false,
+                _ => {
+                    if HASH_TYPES.contains(&txt) {
+                        return true;
+                    }
+                }
+            }
+            i += 1;
+            steps += 1;
+            if steps > 96 {
+                return false;
+            }
+        }
+        false
+    }
+
+    /// Idents of the postfix receiver chain ending at the `.` at `dot`
+    /// (e.g. `self.reports.lock().unwrap()` → [`unwrap`, `lock`,
+    /// `reports`, `self`]).
+    fn receiver_chain(c: &Code<'_>, dot: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        if dot == 0 {
+            return out;
+        }
+        let mut i = dot - 1;
+        loop {
+            let txt = c.text(i);
+            match txt {
+                ")" | "]" => {
+                    let open = c.skip_balanced_back(i);
+                    if open == 0 {
+                        return out;
+                    }
+                    i = open - 1;
+                    continue;
+                }
+                "?" => {
+                    if i == 0 {
+                        return out;
+                    }
+                    i -= 1;
+                    continue;
+                }
+                _ if c.is_ident_tok(i) => {
+                    out.push(txt.to_string());
+                    if i >= 1 && c.is_punct(i - 1, '.') {
+                        if i < 2 {
+                            return out;
+                        }
+                        i -= 2;
+                        continue;
+                    }
+                    if i >= 2 && c.is_punct(i - 1, ':') && c.is_punct(i - 2, ':') {
+                        if i < 3 {
+                            return out;
+                        }
+                        i -= 3;
+                        continue;
+                    }
+                    return out;
+                }
+                _ => return out,
+            }
+        }
+    }
+}
+
+impl Rule for UnorderedIter {
+    fn id(&self) -> &'static str {
+        "unordered-iter"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no HashMap/HashSet iteration in code feeding golden output (keyed lookup is fine)"
+    }
+
+    fn applies(&self, class: &FileClass) -> bool {
+        class.kind == FileKind::Src && class.crate_name != "lint"
+    }
+
+    fn check(&self, sf: &SourceFile) -> Vec<Diagnostic> {
+        let c = Code::new(sf);
+        let names = Self::hash_names(&c);
+        if names.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for i in 0..c.len() {
+            // `for PAT in EXPR {` where EXPR touches a hash binding.
+            if c.is_kw(i, "for") {
+                let mut j = i + 1;
+                let mut depth = 0i32;
+                let mut in_at = None;
+                let mut steps = 0;
+                while let Some(t) = c.tok(j) {
+                    let txt = t.text(&c.sf.text);
+                    match txt {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "{" if depth == 0 => break,
+                        "in" if depth == 0 && t.kind == TokenKind::Ident => {
+                            in_at = Some(j);
+                            break;
+                        }
+                        ";" => break,
+                        _ => {}
+                    }
+                    j += 1;
+                    steps += 1;
+                    if steps > 64 {
+                        break;
+                    }
+                }
+                if let Some(in_at) = in_at {
+                    let mut k = in_at + 1;
+                    let mut depth = 0i32;
+                    let mut steps = 0;
+                    while let Some(t) = c.tok(k) {
+                        let txt = t.text(&c.sf.text);
+                        match txt {
+                            "(" | "[" => depth += 1,
+                            ")" | "]" => depth -= 1,
+                            "{" if depth == 0 => break,
+                            _ => {
+                                if t.kind == TokenKind::Ident && names.iter().any(|n| n == txt) {
+                                    out.push(c.diag(
+                                        k,
+                                        self.id(),
+                                        format!(
+                                            "iterating hash-container binding `{txt}` — order \
+                                             is unspecified; use a BTreeMap/sorted Vec, or \
+                                             allow with a reason if order provably cannot \
+                                             reach output"
+                                        ),
+                                    ));
+                                    break;
+                                }
+                            }
+                        }
+                        k += 1;
+                        steps += 1;
+                        if steps > 96 {
+                            break;
+                        }
+                    }
+                }
+                continue;
+            }
+            // `<chain>.iter()` style order-observing calls.
+            if c.is_punct(i, '.')
+                && c.is_ident_tok(i + 1)
+                && ITER_METHODS.contains(&c.text(i + 1))
+                && c.is_punct(i + 2, '(')
+            {
+                let chain = Self::receiver_chain(&c, i);
+                if let Some(hit) = chain.iter().find(|id| names.contains(id)) {
+                    out.push(c.diag(
+                        i + 1,
+                        self.id(),
+                        format!(
+                            "`.{}()` observes the unordered iteration of hash-container \
+                             binding `{hit}`; use a BTreeMap/sorted Vec, or allow with a \
+                             reason if order provably cannot reach output",
+                            c.text(i + 1)
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: wall-clock
+// ---------------------------------------------------------------------------
+
+/// Nondeterminism sources banned inside simulation crates: wall-clock
+/// reads and OS-seeded entropy. Simulated time comes from the DES;
+/// randomness comes from seeded ChaCha streams.
+const CLOCK_ENTROPY: &[&str] = &["Instant", "SystemTime", "thread_rng", "RandomState"];
+
+/// No wall-clock or ambient-entropy source in the simulation crates.
+pub struct WallClock;
+
+impl Rule for WallClock {
+    fn id(&self) -> &'static str {
+        "wall-clock"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no Instant/SystemTime/thread_rng/RandomState in simulation crates"
+    }
+
+    fn applies(&self, class: &FileClass) -> bool {
+        class.kind == FileKind::Src && SIM_CRATES.contains(&class.crate_name.as_str())
+    }
+
+    fn check(&self, sf: &SourceFile) -> Vec<Diagnostic> {
+        let c = Code::new(sf);
+        let mut out = Vec::new();
+        for i in 0..c.len() {
+            let txt = c.text(i);
+            if c.is_ident_tok(i) && CLOCK_ENTROPY.contains(&txt) {
+                out.push(c.diag(
+                    i,
+                    self.id(),
+                    format!(
+                        "`{txt}` is a wall-clock/entropy source; simulation code must take \
+                         time from the DES and randomness from a seeded stream"
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: truncating-cast
+// ---------------------------------------------------------------------------
+
+/// Integer targets narrower than 64 bits: an `as` cast into one of
+/// these can silently drop high bits (the workspace is 64-bit-only, so
+/// `as u64`/`as usize`/`as i64` cannot truncate from any integer in
+/// use).
+const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// No silently-truncating `as` casts in `src/` code. Use `From` for
+/// provable widenings, `try_from` (or a checked helper such as
+/// `topology::narrow`) for narrowings, and an allow comment with a
+/// reason where the truncation is the point (bit packing, masking).
+pub struct TruncatingCast;
+
+impl Rule for TruncatingCast {
+    fn id(&self) -> &'static str {
+        "truncating-cast"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no `as` casts to sub-64-bit integers; use From/try_from or a checked helper"
+    }
+
+    fn applies(&self, class: &FileClass) -> bool {
+        class.kind == FileKind::Src
+    }
+
+    fn check(&self, sf: &SourceFile) -> Vec<Diagnostic> {
+        let c = Code::new(sf);
+        let mut out = Vec::new();
+        for i in 0..c.len() {
+            if c.is_kw(i, "as") && c.is_ident_tok(i + 1) && NARROW_INTS.contains(&c.text(i + 1)) {
+                out.push(c.diag(
+                    i,
+                    self.id(),
+                    format!(
+                        "`as {0}` can silently truncate; use `{0}::from` for a widening, \
+                         `{0}::try_from(..)`/`topology::narrow` for a narrowing, or allow \
+                         with a reason when truncation is intended",
+                        c.text(i + 1)
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: scratch-reset
+// ---------------------------------------------------------------------------
+
+/// Structs that are scratch arenas by convention; others opt in with a
+/// `// pim-lint: scratch` marker comment above the declaration.
+const KNOWN_SCRATCH: &[&str] = &["SimScratch", "SweepScratch"];
+
+/// Every field of a scratch struct must be named in a `reset*`/`clear*`
+/// fn of that struct (in the same file). A field that reset forgets is
+/// exactly the stale-scratch bug class the dirty-vs-fresh property
+/// tests can only sample.
+pub struct ScratchReset;
+
+impl ScratchReset {
+    /// `(struct-token-index, name)` of every scratch struct in `sf`.
+    fn scratch_structs(c: &Code<'_>) -> Vec<(usize, String)> {
+        let mut out = Vec::new();
+        for i in 0..c.len() {
+            if !c.is_kw(i, "struct") || !c.is_ident_tok(i + 1) {
+                continue;
+            }
+            let name = c.text(i + 1);
+            let line = c.tok(i).map(|t| t.line).unwrap_or(0);
+            let marked =
+                c.sf.scratch_marker_lines
+                    .iter()
+                    .any(|&ml| ml < line && line - ml <= 8);
+            if KNOWN_SCRATCH.contains(&name) || marked {
+                out.push((i, name.to_string()));
+            }
+        }
+        out
+    }
+
+    /// Named fields of the struct declared at token index `si`
+    /// (`struct` keyword), as `(code-index, name)`. Empty for tuple and
+    /// unit structs.
+    fn fields(c: &Code<'_>, si: usize) -> Vec<(usize, String)> {
+        let mut i = si + 2; // past `struct NAME`
+                            // Skip generics.
+        if c.is_punct(i, '<') {
+            let mut depth = 0i32;
+            while let Some(t) = c.tok(i) {
+                match t.text(&c.sf.text) {
+                    "<" => depth += 1,
+                    ">" if !c.is_punct(i.wrapping_sub(1), '-') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+        if !c.is_punct(i, '{') {
+            return Vec::new(); // tuple or unit struct
+        }
+        let body_end = c.skip_balanced(i);
+        let mut out = Vec::new();
+        let mut j = i + 1;
+        while j + 1 < body_end {
+            // Skip attributes and visibility.
+            if c.is_punct(j, '#') && c.is_punct(j + 1, '[') {
+                j = c.skip_balanced(j + 1);
+                continue;
+            }
+            if c.is_kw(j, "pub") {
+                j += 1;
+                if c.is_punct(j, '(') {
+                    j = c.skip_balanced(j);
+                }
+                continue;
+            }
+            if c.is_ident_tok(j) && c.is_single_colon(j + 1) {
+                out.push((j, c.text(j).to_string()));
+                // Skip the type to the field-separating comma.
+                let mut depth = 0i32;
+                let mut k = j + 2;
+                while k < body_end {
+                    match c.text(k) {
+                        "<" | "(" | "[" => depth += 1,
+                        ">" if !c.is_punct(k - 1, '-') => depth -= 1,
+                        ")" | "]" => depth -= 1,
+                        "," if depth == 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                j = k + 1;
+                continue;
+            }
+            j += 1;
+        }
+        out
+    }
+
+    /// Union of ident texts appearing in the bodies of `reset*`/`clear*`
+    /// fns of `name`'s impl blocks in this file; `None` when no such fn
+    /// exists.
+    fn reset_idents(c: &Code<'_>, name: &str) -> Option<Vec<String>> {
+        let mut found = false;
+        let mut idents = Vec::new();
+        let mut i = 0;
+        while i < c.len() {
+            if !c.is_kw(i, "impl") {
+                i += 1;
+                continue;
+            }
+            // Header runs to the first depth-0 `{`.
+            let mut j = i + 1;
+            let mut mentions = false;
+            let mut depth = 0i32;
+            while let Some(t) = c.tok(j) {
+                let txt = t.text(&c.sf.text);
+                match txt {
+                    "<" | "(" | "[" => depth += 1,
+                    ">" => {
+                        if !c.is_punct(j - 1, '-') {
+                            depth -= 1;
+                        }
+                    }
+                    ")" | "]" => depth -= 1,
+                    "{" if depth <= 0 => break,
+                    _ => {
+                        if txt == name {
+                            mentions = true;
+                        }
+                    }
+                }
+                j += 1;
+            }
+            let body_end = c.skip_balanced(j);
+            if !mentions {
+                i = body_end;
+                continue;
+            }
+            // Walk the impl body for reset*/clear* fns.
+            let mut k = j + 1;
+            while k + 1 < body_end {
+                if c.is_kw(k, "fn") && c.is_ident_tok(k + 1) {
+                    let fname = c.text(k + 1);
+                    let is_reset = fname.starts_with("reset") || fname.starts_with("clear");
+                    // Find the fn body opener.
+                    let mut m = k + 2;
+                    let mut d = 0i32;
+                    while m < body_end {
+                        match c.text(m) {
+                            "<" | "(" | "[" => d += 1,
+                            ">" if !c.is_punct(m - 1, '-') => d -= 1,
+                            ")" | "]" => d -= 1,
+                            "{" if d <= 0 => break,
+                            ";" if d <= 0 => break, // trait-default-less sig
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    if c.is_punct(m, '{') {
+                        let fn_end = c.skip_balanced(m);
+                        if is_reset {
+                            found = true;
+                            for x in m..fn_end {
+                                if c.is_ident_tok(x) {
+                                    idents.push(c.text(x).to_string());
+                                }
+                            }
+                        }
+                        k = fn_end;
+                        continue;
+                    }
+                    k = m + 1;
+                    continue;
+                }
+                k += 1;
+            }
+            i = body_end;
+        }
+        if found {
+            idents.sort();
+            idents.dedup();
+            Some(idents)
+        } else {
+            None
+        }
+    }
+}
+
+impl Rule for ScratchReset {
+    fn id(&self) -> &'static str {
+        "scratch-reset"
+    }
+
+    fn summary(&self) -> &'static str {
+        "every field of a scratch struct must be named in its reset*/clear* fn(s)"
+    }
+
+    fn applies(&self, class: &FileClass) -> bool {
+        class.kind == FileKind::Src
+    }
+
+    fn check(&self, sf: &SourceFile) -> Vec<Diagnostic> {
+        let c = Code::new(sf);
+        let mut out = Vec::new();
+        for (si, name) in Self::scratch_structs(&c) {
+            let fields = Self::fields(&c, si);
+            if fields.is_empty() {
+                continue;
+            }
+            match Self::reset_idents(&c, &name) {
+                None => out.push(c.diag(
+                    si + 1,
+                    self.id(),
+                    format!(
+                        "scratch struct `{name}` has no reset*/clear* fn in this file; \
+                         stale fields survive reuse"
+                    ),
+                )),
+                Some(idents) => {
+                    for (fi, fname) in fields {
+                        if !idents.iter().any(|id| id == &fname) {
+                            out.push(c.diag(
+                                fi,
+                                self.id(),
+                                format!(
+                                    "field `{fname}` of scratch struct `{name}` is never \
+                                     named in a reset*/clear* fn — a dirty reuse would \
+                                     leak it"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: env-read
+// ---------------------------------------------------------------------------
+
+/// `std::env` readers that make output depend on ambient environment.
+const ENV_READERS: &[&str] = &["var", "var_os", "vars", "vars_os"];
+
+/// Ambient environment reads go through the `pim_core::envknobs`
+/// chokepoint (allowlisted `PIM_*`/`UPDATE_GOLDEN` knobs) so golden
+/// output can never silently depend on an undeclared variable. The
+/// chokepoint itself carries the only allow annotations.
+pub struct EnvRead;
+
+impl Rule for EnvRead {
+    fn id(&self) -> &'static str {
+        "env-read"
+    }
+
+    fn summary(&self) -> &'static str {
+        "env::var only through the pim_core::envknobs allowlist chokepoint"
+    }
+
+    fn applies(&self, class: &FileClass) -> bool {
+        class.crate_name != "lint"
+    }
+
+    fn check(&self, sf: &SourceFile) -> Vec<Diagnostic> {
+        let c = Code::new(sf);
+        let mut out = Vec::new();
+        for i in 0..c.len() {
+            if c.tok(i).is_some_and(|t| t.is_ident(&c.sf.text, "env"))
+                && c.is_punct(i + 1, ':')
+                && c.is_punct(i + 2, ':')
+                && c.is_ident_tok(i + 3)
+                && ENV_READERS.contains(&c.text(i + 3))
+            {
+                out.push(c.diag(
+                    i + 3,
+                    self.id(),
+                    format!(
+                        "`env::{}` reads ambient environment; go through \
+                         `pim_core::envknobs` (allowlisted PIM_*/UPDATE_GOLDEN knobs)",
+                        c.text(i + 3)
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,61 @@
+//! Exit-code and output contract of the `pim-lint` binary: 0 clean,
+//! 1 violations (with `file:line:col: rule:` positions), 2 usage error.
+
+use std::process::Command;
+
+#[test]
+fn clean_workspace_exits_zero() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/lint");
+    let out = Command::new(env!("CARGO_BIN_EXE_pim-lint"))
+        .arg("--workspace")
+        .arg("--root")
+        .arg(root)
+        .output()
+        .expect("run pim-lint");
+    assert!(
+        out.status.success(),
+        "expected exit 0 on the workspace\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn violations_exit_one_with_positions() {
+    let dir = std::env::temp_dir().join(format!("pim-lint-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    // Classified as workspace-root src, so truncating-cast applies.
+    std::fs::write(
+        dir.join("violating.rs"),
+        "pub fn f(x: u64) -> u16 {\n    x as u16\n}\n",
+    )
+    .expect("write violating file");
+    let out = Command::new(env!("CARGO_BIN_EXE_pim-lint"))
+        .arg("--root")
+        .arg(&dir)
+        .arg("violating.rs")
+        .output()
+        .expect("run pim-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("violating.rs:2:7: truncating-cast:"),
+        "diagnostic position missing from:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("1 diagnostic(s)"),
+        "summary missing from:\n{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn no_input_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_pim-lint"))
+        .output()
+        .expect("run pim-lint");
+    assert_eq!(out.status.code(), Some(2));
+}

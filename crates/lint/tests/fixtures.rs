@@ -1,0 +1,78 @@
+//! Fixture harness: every `tests/fixtures/*.rs` file declares the
+//! virtual workspace path it should be linted as on line 1
+//! (`// pim-lint-fixture: <path>`) and marks each expected diagnostic
+//! with a `//~ ERROR <rule>` annotation on the offending line. The
+//! harness lints each fixture with the full rule set and demands the
+//! `(line, rule)` multisets match exactly — a missed violation and a
+//! false positive both fail.
+
+use lint::{lint_file, rules::all_rules, SourceFile};
+
+/// `(line, rule)` of every `//~ ERROR <rule>` annotation, 1-based.
+fn expectations(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let mut rest = line;
+        while let Some(at) = rest.find("//~ ERROR ") {
+            rest = &rest[at + "//~ ERROR ".len()..];
+            let rule: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+                .collect();
+            assert!(
+                !rule.is_empty(),
+                "empty //~ ERROR annotation on line {}",
+                i + 1
+            );
+            out.push((i + 1, rule));
+        }
+    }
+    out
+}
+
+/// The virtual path declared on the fixture's first line.
+fn virtual_path(text: &str) -> &str {
+    let first = text.lines().next().unwrap_or("");
+    first
+        .strip_prefix("// pim-lint-fixture: ")
+        .unwrap_or_else(|| {
+            panic!("fixture must start with `// pim-lint-fixture: <virtual path>`, got `{first}`")
+        })
+        .trim()
+}
+
+#[test]
+fn fixtures_produce_exactly_their_annotated_diagnostics() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let rules = all_rules();
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("fixtures dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("rs"))
+        .collect();
+    entries.sort();
+    assert!(
+        entries.len() >= 7,
+        "expected at least 7 fixture files, found {}",
+        entries.len()
+    );
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("read fixture");
+        let vpath = virtual_path(&text).to_string();
+        let mut expected = expectations(&text);
+        let sf = SourceFile::parse(&vpath, text.clone());
+        let mut actual: Vec<(usize, String)> = lint_file(&sf, &rules)
+            .into_iter()
+            .map(|d| (d.line, d.rule.to_string()))
+            .collect();
+        expected.sort();
+        actual.sort();
+        assert_eq!(
+            actual,
+            expected,
+            "fixture {} (linted as {vpath}): actual diagnostics (left) disagree \
+             with //~ ERROR annotations (right)",
+            path.display()
+        );
+    }
+}

@@ -1,0 +1,22 @@
+// pim-lint-fixture: crates/core/src/fixture.rs
+//! Allow-directive fixture: own-line and trailing suppression, the
+//! mandatory reason, unknown rule names, and stale allows.
+
+pub fn suppressed(x: u64) -> u64 {
+    // pim-lint: allow(truncating-cast) -- the mask makes the low byte the point
+    let own_line = (x & 0xFF) as u8;
+    let trailing = (x >> 56) as u8; // pim-lint: allow(truncating-cast) -- top byte of the packed key
+    u64::from(own_line) + u64::from(trailing)
+}
+
+pub fn reason_is_mandatory(x: u64) -> u64 {
+    // pim-lint: allow(truncating-cast) //~ ERROR malformed-allow
+    let no_reason = x as u8; //~ ERROR truncating-cast
+    u64::from(no_reason)
+}
+
+// pim-lint: allow(no-such-rule) -- citing a rule that does not exist //~ ERROR malformed-allow
+pub fn unknown_rule() {}
+
+// pim-lint: allow(wall-clock) -- nothing on the next line reads a clock //~ ERROR unused-allow
+pub fn stale_allow() {}

@@ -1,0 +1,32 @@
+// pim-lint-fixture: crates/core/src/fixture.rs
+//! Env-read fixture: ambient environment reads are flagged everywhere;
+//! the `pim_core::envknobs` chokepoint (which carries its own allow
+//! annotations in the real tree) is the blessed route.
+
+pub fn raw_var() -> Option<String> {
+    std::env::var("PIM_FIXTURE_KNOB").ok() //~ ERROR env-read
+}
+
+pub fn raw_var_os() -> bool {
+    std::env::var_os("PIM_FIXTURE_KNOB").is_some() //~ ERROR env-read
+}
+
+pub fn raw_vars() -> usize {
+    std::env::vars().count() //~ ERROR env-read
+}
+
+use std::env;
+
+pub fn imported_read() -> Option<String> {
+    env::var("PIM_FIXTURE_KNOB").ok() //~ ERROR env-read
+}
+
+pub fn routed() -> bool {
+    // The chokepoint's own module path does not pattern-match `env::var`.
+    pim_core::envknobs::flag("PIM_BENCH_NO_CACHE")
+}
+
+pub fn not_a_reader() -> std::path::PathBuf {
+    // Other std::env items (cwd, temp dir, args) are not flagged.
+    std::env::temp_dir()
+}

@@ -1,0 +1,26 @@
+// pim-lint-fixture: crates/core/src/fixture.rs
+//! Lexer fixture: rule triggers hidden inside strings, raw strings,
+//! byte strings and comments must not fire; the single real violation
+//! at the end proves the file is actually scanned.
+
+pub fn torture() -> usize {
+    let s = "std::env::var(\"X\") as u16 and Instant::now()";
+    let raw = r#"thread_rng() as u8 "quoted" SystemTime"#;
+    let bytes = b"env::var as i32";
+    // A comment mentioning env::var("HOME"), x as u32, and Instant.
+    /* block /* nested env::var */ as u16 Instant */
+    let life: &'static str = "x";
+    let not_a_lifetime = 'a';
+    let escaped = '\'';
+    let hex = 0xFFu64;
+    let range_count = (0..hex).count(); // `0..` must not lex as a float
+    let real = hex as u16; //~ ERROR truncating-cast
+    s.len()
+        + raw.len()
+        + bytes.len()
+        + life.len()
+        + (not_a_lifetime as usize)
+        + (escaped as usize)
+        + range_count
+        + (real as usize)
+}

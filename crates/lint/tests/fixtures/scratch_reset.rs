@@ -1,0 +1,49 @@
+// pim-lint-fixture: crates/netsim/src/fixture.rs
+//! Scratch-reset fixture: every field of a marked scratch struct must
+//! be named in a `reset*`/`clear*` fn of that struct in the same file.
+
+// pim-lint: scratch
+pub struct CoveredScratch {
+    items: Vec<u32>,
+    total: u64,
+}
+
+impl CoveredScratch {
+    pub fn reset(&mut self) {
+        self.items.clear();
+        self.total = 0;
+    }
+}
+
+// pim-lint: scratch
+pub struct LeakyScratch {
+    kept: Vec<u32>,
+    forgotten: Vec<u32>, //~ ERROR scratch-reset
+}
+
+impl LeakyScratch {
+    pub fn clear_kept(&mut self) {
+        self.kept.clear();
+    }
+
+    pub fn push(&mut self, v: u32) {
+        self.forgotten.push(v);
+    }
+}
+
+// pim-lint: scratch
+pub struct NoResetScratch { //~ ERROR scratch-reset
+    buf: Vec<u64>,
+}
+
+impl NoResetScratch {
+    pub fn push(&mut self, b: u64) {
+        self.buf.push(b);
+    }
+}
+
+// No marker, no reset fn: an ordinary struct, not a scratch.
+pub struct PlainConfig {
+    pub width: u16,
+    pub height: u16,
+}

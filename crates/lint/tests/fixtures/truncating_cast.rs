@@ -1,0 +1,17 @@
+// pim-lint-fixture: crates/topology/src/fixture.rs
+//! Narrowing-cast fixture: `as` casts into sub-64-bit integers are
+//! flagged; widenings via `From`, 64-bit targets, and raw-identifier
+//! `r#as` are not.
+
+pub fn casts(n: usize, x: u64) -> u64 {
+    let a = n as u32; //~ ERROR truncating-cast
+    let b = x as u16; //~ ERROR truncating-cast
+    let c = (x & 0xFF) as u8; //~ ERROR truncating-cast
+    let widened = u64::from(a) + u64::from(b) + u64::from(c);
+    let index = x as usize; // 64-bit target: cannot truncate here
+    let r#as = widened; // raw identifier, not the cast keyword
+    let masked = r#as as i32; //~ ERROR truncating-cast
+    // pim-lint: allow(truncating-cast) -- keeping the masked low byte is the point
+    let low = (x & 0xFF) as u8;
+    widened + index as u64 + u64::from(low) + u64::from(masked.unsigned_abs())
+}

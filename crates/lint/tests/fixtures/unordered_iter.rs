@@ -1,0 +1,46 @@
+// pim-lint-fixture: crates/core/src/fixture.rs
+//! Unordered-iteration fixture: order-observing operations on hash
+//! containers are flagged; keyed lookups are not.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Registry {
+    by_name: HashMap<String, u64>,
+}
+
+pub fn observe_order(map: HashMap<String, u64>, set: HashSet<u64>) -> u64 {
+    let mut sum = 0;
+    for (_k, v) in &map { //~ ERROR unordered-iter
+        sum += v;
+    }
+    for v in &set { //~ ERROR unordered-iter
+        sum += v;
+    }
+    sum + map.values().sum::<u64>() //~ ERROR unordered-iter
+}
+
+pub fn method_chains(reg: &Registry) -> usize {
+    let names: Vec<&String> = reg.by_name.keys().collect(); //~ ERROR unordered-iter
+    names.len()
+}
+
+pub fn drain_is_ordered_observation() -> usize {
+    let mut counts = HashMap::new();
+    counts.insert("a", 1u64);
+    counts.drain().count() //~ ERROR unordered-iter
+}
+
+pub fn keyed_lookups_are_fine(map: &HashMap<String, u64>, set: &HashSet<u64>) -> u64 {
+    let hit = map.get("alpha").copied().unwrap_or(0);
+    let present = u64::from(set.contains(&hit));
+    hit + present + map["alpha"]
+}
+
+pub fn vec_iteration_is_fine(rows: &[u64]) -> u64 {
+    let owned: Vec<u64> = rows.to_vec();
+    let mut sum = 0;
+    for r in &owned {
+        sum += r;
+    }
+    sum + owned.iter().sum::<u64>()
+}

@@ -1,0 +1,24 @@
+// pim-lint-fixture: crates/netsim/src/fixture.rs
+//! Wall-clock fixture: clock and ambient-entropy sources are banned in
+//! the simulation crates; time comes from the DES, randomness from
+//! seeded streams.
+
+pub fn timing() -> bool {
+    let t0 = std::time::Instant::now(); //~ ERROR wall-clock
+    let s = std::time::SystemTime::now(); //~ ERROR wall-clock
+    s.elapsed().is_ok() && t0.elapsed().as_nanos() > 0
+}
+
+pub fn entropy() -> u64 {
+    let mut rng = rand::thread_rng(); //~ ERROR wall-clock
+    rand::Rng::random(&mut rng)
+}
+
+pub fn hasher_state() {
+    let _state = std::collections::hash_map::RandomState::new(); //~ ERROR wall-clock
+}
+
+pub fn seeded_is_fine(seed: u64) -> u64 {
+    // A deterministic, seeded stream is the blessed alternative.
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}

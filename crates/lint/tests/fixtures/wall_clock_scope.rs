@@ -1,0 +1,14 @@
+// pim-lint-fixture: crates/bench/src/fixture.rs
+//! Scope fixture: the wall-clock rule only covers the simulation
+//! crates. The bench crate times real executions on purpose (perf
+//! lanes), so this file must produce no diagnostics at all.
+
+pub fn measure<F: FnOnce()>(f: F) -> std::time::Duration {
+    let t0 = std::time::Instant::now();
+    f();
+    t0.elapsed()
+}
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

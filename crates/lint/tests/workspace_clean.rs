@@ -1,0 +1,27 @@
+//! The tree this linter ships in must itself be lint-clean. CI runs the
+//! binary too, but enforcing it from `cargo test` means a violation
+//! fails the ordinary developer loop, not just the pipeline.
+
+#[test]
+fn workspace_lints_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/lint");
+    let files = lint::workspace_files(root).expect("walk workspace");
+    assert!(
+        files.len() > 100,
+        "workspace walk looks wrong: only {} .rs files found",
+        files.len()
+    );
+    let diags = lint::run(root, &files).expect("lint workspace");
+    assert!(
+        diags.is_empty(),
+        "workspace has pim-lint violations:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

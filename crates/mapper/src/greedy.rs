@@ -139,12 +139,15 @@ fn pick_nearest(
         // Task start: maximize free capacity in the 2-hop neighborhood.
         let mut best: Option<(usize, NodeId)> = None;
         for (i, apsp_row) in apsp.iter().enumerate().take(topo.node_count()) {
-            let n = NodeId(i as u32);
+            let n = NodeId(topology::narrow::u32_idx(i));
             if !ledger.available_to(n, task) {
                 continue;
             }
             let free_near = (0..topo.node_count())
-                .filter(|&j| apsp_row[j] <= 2 && ledger.available_to(NodeId(j as u32), task))
+                .filter(|&j| {
+                    apsp_row[j] <= 2
+                        && ledger.available_to(NodeId(topology::narrow::u32_idx(j)), task)
+                })
                 .count();
             match best {
                 None => best = Some((free_near, n)),
@@ -162,7 +165,7 @@ fn pick_nearest(
     // the range loop stays.
     #[allow(clippy::needless_range_loop)]
     for i in 0..topo.node_count() {
-        let n = NodeId(i as u32);
+        let n = NodeId(topology::narrow::u32_idx(i));
         if !ledger.available_to(n, task) {
             continue;
         }

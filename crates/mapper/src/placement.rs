@@ -198,7 +198,7 @@ impl CapacityLedger {
     /// Total free weights across chiplets available to `task`.
     pub fn total_available_to(&self, task: TaskId) -> u64 {
         (0..self.free.len())
-            .filter(|&i| self.available_to(NodeId(i as u32), task))
+            .filter(|&i| self.available_to(NodeId(topology::narrow::u32_idx(i)), task))
             .map(|i| self.free[i])
             .sum()
     }

@@ -191,7 +191,7 @@ pub fn run_queue(
     let mut cursor = 0usize;
     let mut idx = 0usize;
     while idx < tasks.len() {
-        let task = TaskId(idx as u32);
+        let task = TaskId(topology::narrow::u32_idx(idx));
         let sg = &tasks[idx];
         match strategy.map_task(&mut ledger, &mut cursor, task, sg) {
             Ok(tp) => {
@@ -303,7 +303,7 @@ pub fn run_churn_with_ledger(
     let mut cursor = 0usize;
 
     for (idx, sg) in tasks.iter().enumerate() {
-        let task = TaskId(idx as u32);
+        let task = TaskId(topology::narrow::u32_idx(idx));
         loop {
             match strategy.map_task(&mut ledger, &mut cursor, task, sg) {
                 Ok(tp) => {

@@ -110,12 +110,25 @@ pub fn sfc_order(layout: &FloretLayout) -> Vec<NodeId> {
     layout.global_order()
 }
 
+/// SFC-order position of every node, dense-indexed by `NodeId`. The ids
+/// of an SFC order are dense, so a flat table replaces the hash map the
+/// seed used here — a keyed structure was fine for lookups, but a dense
+/// one is cheaper and keeps this file trivially inside the
+/// `unordered-iter` determinism contract.
+fn order_positions(order: &[NodeId]) -> Vec<usize> {
+    let max_id = order.iter().map(|n| n.0 as usize).max().unwrap_or(0);
+    let mut pos = vec![usize::MAX; max_id + 1];
+    for (i, &n) in order.iter().enumerate() {
+        pos[n.0 as usize] = i;
+    }
+    pos
+}
+
 /// Mean SFC-order distance between the chiplets of consecutive segments —
 /// a contiguity diagnostic (0 means every transition stays on-chiplet or
 /// moves to the next chiplet along the curve).
 pub fn contiguity_score(tp: &TaskPlacement, order: &[NodeId]) -> f64 {
-    let pos: std::collections::HashMap<NodeId, usize> =
-        order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let pos = order_positions(order);
     let mut total = 0i64;
     let mut count = 0i64;
     for pair in tp.segments.windows(2) {
@@ -123,8 +136,8 @@ pub fn contiguity_score(tp: &TaskPlacement, order: &[NodeId]) -> f64 {
         let (Some(la), Some(fb)) = (a.shares.last(), b.shares.first()) else {
             continue;
         };
-        let pa = pos[&la.node] as i64;
-        let pb = pos[&fb.node] as i64;
+        let pa = pos[la.node.0 as usize] as i64;
+        let pb = pos[fb.node.0 as usize] as i64;
         total += (pb - pa).abs().max(1) - 1;
         count += 1;
     }
@@ -188,10 +201,9 @@ mod tests {
         );
         // Task 1 continues where task 0 stopped (possibly sharing boundary
         // chiplet is forbidden, so it starts at the next free one).
-        let pos: std::collections::HashMap<NodeId, usize> =
-            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
-        let max0 = n0.iter().map(|n| pos[n]).max().unwrap();
-        let min1 = n1.iter().map(|n| pos[n]).min().unwrap();
+        let pos = order_positions(&order);
+        let max0 = n0.iter().map(|n| pos[n.0 as usize]).max().unwrap();
+        let min1 = n1.iter().map(|n| pos[n.0 as usize]).min().unwrap();
         assert!(min1 > max0);
     }
 

@@ -104,12 +104,14 @@ impl EventKind {
 
     /// Inverse of [`EventKind::order_key`].
     fn from_order_key(key: u64) -> EventKind {
+        // pim-lint: allow(truncating-cast) -- unpacking the masked 32-bit id field of order_key
         let id = ((key >> 16) & 0xFFFF_FFFF) as u32;
         if key >> 48 == 0 {
             EventKind::Free { ch: id }
         } else {
             EventKind::Header {
                 seq: id,
+                // pim-lint: allow(truncating-cast) -- unpacking the masked 16-bit hop field of order_key
                 hop: (key & 0xFFFF) as u16,
             }
         }
@@ -134,6 +136,7 @@ struct WaitNode {
 /// run live in two flat vectors (`channels`, `hop_delay`) sliced by the
 /// `offsets` table, so segmenting a flow into packets appends to four
 /// vectors instead of allocating two boxed `Vec`s per packet.
+// pim-lint: scratch
 #[derive(Default)]
 struct PacketArena {
     /// `offsets[i]..offsets[i + 1]` bounds packet `i`'s hop records;
@@ -229,6 +232,17 @@ impl SimScratch {
         }
     }
 
+    /// Clears every buffer (capacity kept), returning the scratch to the
+    /// state a fresh [`SimScratch::new`] would observe. The simulator
+    /// entry points re-clear internally before each run; this is the
+    /// invariant-documenting form the `scratch-reset` lint checks.
+    pub fn reset(&mut self) {
+        self.arena.clear();
+        self.latencies.clear();
+        self.path.clear();
+        self.reset_engine(0);
+    }
+
     fn reset_engine(&mut self, n_channels: usize) {
         self.busy_until.clear();
         self.busy_until.resize(n_channels, 0);
@@ -262,7 +276,7 @@ impl SimScratch {
             idx
         } else {
             self.wait_nodes.push(node);
-            (self.wait_nodes.len() - 1) as u32
+            topology::narrow::u32_idx(self.wait_nodes.len() - 1)
         };
         if self.wait_tail[ch] == NIL {
             self.wait_head[ch] = idx;
@@ -327,7 +341,10 @@ impl SimScratch {
             if !self.has_waiters(ch) {
                 self.queue.push(
                     self.busy_until[ch],
-                    EventKind::Free { ch: ch as u32 }.order_key(),
+                    EventKind::Free {
+                        ch: topology::narrow::u32_idx(ch),
+                    }
+                    .order_key(),
                 );
             }
             self.park(ch, seq, hop, time);
@@ -369,7 +386,7 @@ fn build_packets_into(
         if link.a == from {
             lid.0
         } else {
-            lid.0 + n_links as u32
+            lid.0 + topology::narrow::u32_idx(n_links)
         }
     };
 
@@ -390,7 +407,9 @@ fn build_packets_into(
             let flits = size.div_ceil(hw.flit_bytes as u64).max(1);
             let bits = size * 8;
             // NI injection: router pipeline to enter the network.
-            arena.channels.push(ni_base as u32 + f.src.0);
+            arena
+                .channels
+                .push(topology::narrow::u32_idx(ni_base) + f.src.0);
             arena.hop_delay.push(hw.router_pipeline_cycles as u64);
             let mut at = f.src;
             for lid in path.iter() {
@@ -402,7 +421,9 @@ fn build_packets_into(
                 at = link.opposite(at);
             }
             energy_pj += bits as f64 * hw.router_energy_pj_per_bit(topo.ports(f.dst));
-            arena.offsets.push(arena.channels.len() as u32);
+            arena
+                .offsets
+                .push(topology::narrow::u32_idx(arena.channels.len()));
             arena.ser_cycles.push(flits);
             arena.delivered_at.push(0);
         }
@@ -431,7 +452,7 @@ fn run_event_loop(st: &mut SimScratch, n_channels: usize) {
     if burst_direct {
         for seq in 0..n {
             st.stats.heap_events += 1;
-            if st.dispatch_header(seq as u32, 0, 0) {
+            if st.dispatch_header(topology::narrow::u32_idx(seq), 0, 0) {
                 delivered += 1;
             }
         }
@@ -440,7 +461,7 @@ fn run_event_loop(st: &mut SimScratch, n_channels: usize) {
             st.queue.push(
                 0,
                 EventKind::Header {
-                    seq: seq as u32,
+                    seq: topology::narrow::u32_idx(seq),
                     hop: 0,
                 }
                 .order_key(),
@@ -629,7 +650,7 @@ mod tests {
         for seq in 0..packets.len() {
             heap.push(Ev {
                 time: 0,
-                seq: seq as u32,
+                seq: topology::narrow::u32_idx(seq),
                 hop: 0,
             });
         }

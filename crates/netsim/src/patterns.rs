@@ -65,9 +65,11 @@ pub fn generate_pattern(
     let max_y = topo.nodes().iter().map(|nd| nd.coord.y).max().unwrap_or(0);
     let mut flows = Vec::with_capacity(n);
     for i in 0..n {
-        let src = NodeId(i as u32);
+        let src = NodeId(topology::narrow::u32_idx(i));
         let dst = match pattern {
-            TrafficPattern::UniformRandom => NodeId(rng.random_range(0..n as u32)),
+            TrafficPattern::UniformRandom => {
+                NodeId(rng.random_range(0..topology::narrow::u32_idx(n)))
+            }
             TrafficPattern::Transpose => {
                 let c = topo.node(src).coord;
                 // Swap x/y, clamped into the (possibly non-square) grid.
@@ -78,13 +80,13 @@ pub fn generate_pattern(
             }
             TrafficPattern::Hotspot => {
                 if rng.random::<f64>() < 0.3 {
-                    NodeId((n / 2) as u32)
+                    NodeId(topology::narrow::u32_idx(n / 2))
                 } else {
-                    NodeId(rng.random_range(0..n as u32))
+                    NodeId(rng.random_range(0..topology::narrow::u32_idx(n)))
                 }
             }
-            TrafficPattern::Neighbor => NodeId(((i + 1) % n) as u32),
-            TrafficPattern::Complement => NodeId((n - 1 - i) as u32),
+            TrafficPattern::Neighbor => NodeId(topology::narrow::u32_idx((i + 1) % n)),
+            TrafficPattern::Complement => NodeId(topology::narrow::u32_idx(n - 1 - i)),
         };
         if src != dst {
             flows.push(Flow::new(src, dst, bytes_per_flow));

@@ -18,7 +18,7 @@ impl RouteTable {
         let n = topo.node_count();
         let mut next = vec![vec![None; n]; n];
         for (dst, next_row) in next.iter_mut().enumerate() {
-            let res = topo.dijkstra(NodeId(dst as u32), cost);
+            let res = topo.dijkstra(NodeId(topology::narrow::u32_idx(dst)), cost);
             // res[v] = (cost, parent link toward dst on the shortest-path
             // tree rooted at dst); the parent link IS the next hop from v.
             for (v, entry) in res.iter().enumerate() {
@@ -109,17 +109,21 @@ mod tests {
             let rt = RouteTable::build(&topo, &HwParams::default());
             for s in 0..topo.node_count() {
                 for d in 0..topo.node_count() {
-                    let p = rt.path(&topo, NodeId(s as u32), NodeId(d as u32));
+                    let p = rt.path(
+                        &topo,
+                        NodeId(topology::narrow::u32_idx(s)),
+                        NodeId(topology::narrow::u32_idx(d)),
+                    );
                     if s == d {
                         assert!(p.is_empty());
                     } else {
                         assert!(!p.is_empty());
                         // Path must actually end at d.
-                        let mut at = NodeId(s as u32);
+                        let mut at = NodeId(topology::narrow::u32_idx(s));
                         for lid in &p {
                             at = topo.link(*lid).opposite(at);
                         }
-                        assert_eq!(at, NodeId(d as u32));
+                        assert_eq!(at, NodeId(topology::narrow::u32_idx(d)));
                     }
                 }
             }

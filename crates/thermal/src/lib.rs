@@ -314,8 +314,8 @@ pub fn default_solver() -> Solver {
         0 => Solver::RedBlackSor,
         1 => Solver::GaussSeidelReference,
         _ => {
-            let s = match std::env::var("PIM_THERMAL_SOLVER").as_deref() {
-                Ok("reference") => Solver::GaussSeidelReference,
+            let s = match topology::envknobs::var("PIM_THERMAL_SOLVER").as_deref() {
+                Some("reference") => Solver::GaussSeidelReference,
                 _ => Solver::RedBlackSor,
             };
             set_default_solver(s);
@@ -382,7 +382,7 @@ impl Stencil {
                     let i = idx(x, y, z);
                     let mut g_sum = 0.0;
                     let mut push = |j: usize, g: f64| {
-                        nbr.push((j as u32, g));
+                        nbr.push((topology::narrow::u32_idx(j), g));
                         g_sum += g;
                     };
                     if x > 0 {
@@ -410,8 +410,8 @@ impl Stencil {
                     }
                     inv_g_sum.push(1.0 / g_sum);
                     rhs.push(r);
-                    nbr_start.push(nbr.len() as u32);
-                    colors[(x + y + z) & 1].push(i as u32);
+                    nbr_start.push(topology::narrow::u32_idx(nbr.len()));
+                    colors[(x + y + z) & 1].push(topology::narrow::u32_idx(i));
                 }
             }
         }
@@ -733,7 +733,9 @@ mod tests {
         }
         let mut spread = PowerMap::new(5, 5, 4).unwrap();
         for (i, (x, y)) in [(0u16, 0u16), (4, 0), (0, 4), (4, 4)].iter().enumerate() {
-            spread.set(*x, *y, i as u16, 1.0).unwrap();
+            spread
+                .set(*x, *y, topology::narrow::u16_idx(i), 1.0)
+                .unwrap();
         }
         let cfg = ThermalConfig::m3d();
         let peak_conc = solve(&concentrated, &cfg).peak_k();

@@ -124,6 +124,7 @@ fn split_lengths(total: u16, parts: u16, force_even: bool) -> Vec<u16> {
             out.push(remaining);
             break;
         }
+        // pim-lint: allow(truncating-cast) -- f64::round of a ratio of u16 petal counts; <= `remaining` <= u16::MAX by construction
         let mut share = (remaining as f64 / left as f64).round() as u16;
         share = share.clamp(1, remaining - (left - 1));
         if force_even && share % 2 == 1 {
@@ -296,7 +297,7 @@ pub fn floret(w: u16, h: u16, lambda: u16) -> Result<(Topology, FloretLayout), T
             "lambda must be at least 1".into(),
         ));
     }
-    if (lambda as u32) * 2 > (w as u32) * (h as u32) {
+    if u32::from(lambda) * 2 > u32::from(w) * u32::from(h) {
         return Err(TopologyError::InvalidDimensions(format!(
             "lambda={lambda} too large for a {w}x{h} grid"
         )));
@@ -314,23 +315,23 @@ pub fn floret(w: u16, h: u16, lambda: u16) -> Result<(Topology, FloretLayout), T
     debug_assert_eq!(
         blocks
             .iter()
-            .map(|bl| bl.w as u32 * bl.h as u32)
+            .map(|bl| u32::from(bl.w) * u32::from(bl.h))
             .sum::<u32>(),
-        w as u32 * h as u32,
+        u32::from(w) * u32::from(h),
         "partition must cover the grid exactly"
     );
 
     // Grid centre (in half-units to avoid ties).
-    let cx2 = w as i32 - 1; // 2*cx
-    let cy2 = h as i32 - 1; // 2*cy
+    let cx2 = i32::from(w) - 1; // 2*cx
+    let cy2 = i32::from(h) - 1; // 2*cy
 
     let mut petals = Vec::with_capacity(blocks.len());
     for bl in &blocks {
         let local = ham_loop(bl.w, bl.h);
         // Flip the local path so that its head lands on the block corner
         // nearest the grid centre ("radiating outward from the centre").
-        let flip_x = 2 * (bl.x0 as i32) + bl.w as i32 - 1 > cx2;
-        let flip_y = 2 * (bl.y0 as i32) + bl.h as i32 - 1 > cy2;
+        let flip_x = 2 * i32::from(bl.x0) + i32::from(bl.w) - 1 > cx2;
+        let flip_y = 2 * i32::from(bl.y0) + i32::from(bl.h) - 1 > cy2;
         let nodes: Vec<NodeId> = local
             .into_iter()
             .map(|(lx, ly)| {
@@ -352,7 +353,11 @@ pub fn floret(w: u16, h: u16, lambda: u16) -> Result<(Topology, FloretLayout), T
     // Top-level star: tail_i -> head_j for i != j within the hop budget.
     let coord_of = |id: NodeId, b: &TopologyBuilder| -> Coord {
         let _ = b;
-        Coord::new2((id.0 % w as u32) as u16, (id.0 / w as u32) as u16)
+        let w32 = u32::from(w);
+        Coord::new2(
+            crate::narrow::u16_idx((id.0 % w32) as usize),
+            crate::narrow::u16_idx((id.0 / w32) as usize),
+        )
     };
     let l = petals.len();
     for i in 0..l {
@@ -470,13 +475,14 @@ mod tests {
             let path = ham_loop(w, h);
             assert_eq!(path.len(), (w as usize) * (h as usize));
             for pair in path.windows(2) {
-                let d = (pair[0].0 as i32 - pair[1].0 as i32).abs()
-                    + (pair[0].1 as i32 - pair[1].1 as i32).abs();
+                let d = (i32::from(pair[0].0) - i32::from(pair[1].0)).abs()
+                    + (i32::from(pair[0].1) - i32::from(pair[1].1)).abs();
                 assert_eq!(d, 1, "path must be contiguous for {w}x{h}");
             }
             let first = path[0];
             let last = *path.last().unwrap();
-            let d = (first.0 as i32 - last.0 as i32).abs() + (first.1 as i32 - last.1 as i32).abs();
+            let d = (i32::from(first.0) - i32::from(last.0)).abs()
+                + (i32::from(first.1) - i32::from(last.1)).abs();
             assert_eq!(d, 1, "even blocks must form a near-loop ({w}x{h})");
         }
     }
@@ -486,8 +492,8 @@ mod tests {
         let path = ham_loop(5, 5);
         assert_eq!(path.len(), 25);
         for pair in path.windows(2) {
-            let d = (pair[0].0 as i32 - pair[1].0 as i32).abs()
-                + (pair[0].1 as i32 - pair[1].1 as i32).abs();
+            let d = (i32::from(pair[0].0) - i32::from(pair[1].0)).abs()
+                + (i32::from(pair[0].1) - i32::from(pair[1].1)).abs();
             assert_eq!(d, 1);
         }
     }

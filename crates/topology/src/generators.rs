@@ -170,8 +170,8 @@ pub fn kite_with_skips(w: u16, h: u16, skips: usize, seed: u64) -> Result<Topolo
     let mut attempts = 0usize;
     while added < skips && attempts < skips * 50 {
         attempts += 1;
-        let a = NodeId(rng.random_range(0..n as u32));
-        let c = NodeId(rng.random_range(0..n as u32));
+        let a = NodeId(rng.random_range(0..crate::narrow::u32_idx(n)));
+        let c = NodeId(rng.random_range(0..crate::narrow::u32_idx(n)));
         if a == c || b.has_link(a, c) {
             continue;
         }
@@ -262,7 +262,12 @@ pub fn swap(w: u16, h: u16, cfg: &SwapConfig) -> Result<Topology, TopologyError>
     let budget = ((n as f64) * cfg.shortcut_frac).round() as usize;
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let coords: Vec<Coord> = (0..n)
-        .map(|i| Coord::new2((i % w as usize) as u16, (i / w as usize) as u16))
+        .map(|i| {
+            Coord::new2(
+                crate::narrow::u16_idx(i % w as usize),
+                crate::narrow::u16_idx(i / w as usize),
+            )
+        })
         .collect();
     let mut added = 0usize;
     let mut attempts = 0usize;
@@ -273,7 +278,7 @@ pub fn swap(w: u16, h: u16, cfg: &SwapConfig) -> Result<Topology, TopologyError>
         // Sample a partner with probability ~ d^-alpha by sampling a target
         // distance from the discrete power law, then a random node at
         // (approximately) that distance.
-        let dmax = (w + h - 2) as u32;
+        let dmax = u32::from(w + h - 2);
         let d_target = sample_power_law(&mut rng, 2, dmax, cfg.alpha);
         let candidates: Vec<usize> = (0..n)
             .filter(|&c| {
@@ -286,7 +291,10 @@ pub fn swap(w: u16, h: u16, cfg: &SwapConfig) -> Result<Topology, TopologyError>
         let Some(&c) = candidates.choose(&mut rng) else {
             continue;
         };
-        let (na, nc) = (NodeId(a as u32), NodeId(c as u32));
+        let (na, nc) = (
+            NodeId(crate::narrow::u32_idx(a)),
+            NodeId(crate::narrow::u32_idx(c)),
+        );
         if b.has_link(na, nc) || b.degree(na) >= cfg.max_ports || b.degree(nc) >= cfg.max_ports {
             continue;
         }
@@ -306,7 +314,7 @@ fn sample_power_law<R: RngExt>(rng: &mut R, lo: u32, hi: u32, alpha: f64) -> u32
     for (i, wgt) in weights.iter().enumerate() {
         u -= wgt;
         if u <= 0.0 {
-            return lo + i as u32;
+            return lo + crate::narrow::u32_idx(i);
         }
     }
     hi

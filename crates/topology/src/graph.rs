@@ -87,16 +87,16 @@ impl Coord {
     /// Manhattan distance between two coordinates, counting the tier
     /// dimension with the same unit weight as the planar dimensions.
     pub fn manhattan(self, other: Coord) -> u32 {
-        let dx = (self.x as i32 - other.x as i32).unsigned_abs();
-        let dy = (self.y as i32 - other.y as i32).unsigned_abs();
-        let dz = (self.z as i32 - other.z as i32).unsigned_abs();
+        let dx = (i32::from(self.x) - i32::from(other.x)).unsigned_abs();
+        let dy = (i32::from(self.y) - i32::from(other.y)).unsigned_abs();
+        let dz = (i32::from(self.z) - i32::from(other.z)).unsigned_abs();
         dx + dy + dz
     }
 
     /// Planar (x/y only) Manhattan distance.
     pub fn manhattan2(self, other: Coord) -> u32 {
-        let dx = (self.x as i32 - other.x as i32).unsigned_abs();
-        let dy = (self.y as i32 - other.y as i32).unsigned_abs();
+        let dx = (i32::from(self.x) - i32::from(other.x)).unsigned_abs();
+        let dy = (i32::from(self.y) - i32::from(other.y)).unsigned_abs();
         dx + dy
     }
 }
@@ -269,7 +269,7 @@ impl TopologyBuilder {
 
     /// Adds a router node at `coord` and returns its id.
     pub fn add_node(&mut self, coord: Coord) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
+        let id = NodeId(crate::narrow::u32_idx(self.nodes.len()));
         self.nodes.push(Node { id, coord });
         id
     }
@@ -323,7 +323,7 @@ impl TopologyBuilder {
         if self.has_link(a, b) {
             return Err(TopologyError::DuplicateLink(a, b));
         }
-        let id = LinkId(self.links.len() as u32);
+        let id = LinkId(crate::narrow::u32_idx(self.links.len()));
         self.links.push(Link {
             id,
             a,
@@ -617,7 +617,7 @@ mod tests {
     fn line(n: u32) -> Topology {
         let mut b = TopologyBuilder::new(TopologyKind::Custom, format!("line{n}"));
         for i in 0..n {
-            b.add_node(Coord::new2(i as u16, 0));
+            b.add_node(Coord::new2(crate::narrow::u16_idx(i as usize), 0));
         }
         for i in 1..n {
             b.add_link(NodeId(i - 1), NodeId(i)).unwrap();

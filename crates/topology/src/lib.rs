@@ -36,10 +36,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod envknobs;
 mod floret;
 mod generators;
 mod graph;
 mod hw;
+pub mod narrow;
 mod stats;
 
 pub use floret::{floret, sfc3d, FloretLayout, Petal, MAX_INTER_SFC_HOPS};

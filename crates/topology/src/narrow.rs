@@ -1,0 +1,48 @@
+//! Checked narrowing for index arithmetic.
+//!
+//! The workspace stores ids compactly (`NodeId(u32)`, `Coord` in
+//! `u16`s, CSR offsets in `u32`) while iterating with `usize`, so the
+//! seed code was full of bare `x as u32` casts — each one a silent
+//! truncation if a topology or arena ever outgrows the id width. The
+//! `truncating-cast` pim-lint rule bans those casts; these helpers are
+//! the blessed replacement. They are `#[inline]` one-comparison
+//! checks: on the sizes this workspace simulates the branch never
+//! fires, and when a future configuration *does* overflow an id width
+//! the run dies loudly instead of producing a wrong figure.
+
+/// `usize` index → `u32` id, panicking (loudly, with the value) on
+/// overflow instead of wrapping.
+#[inline]
+pub fn u32_idx(i: usize) -> u32 {
+    u32::try_from(i).unwrap_or_else(|_| panic!("index {i} exceeds the u32 id width"))
+}
+
+/// `usize` index → `u16` coordinate, panicking on overflow.
+#[inline]
+pub fn u16_idx(i: usize) -> u16 {
+    u16::try_from(i).unwrap_or_else(|_| panic!("index {i} exceeds the u16 coordinate width"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_values_pass_through() {
+        assert_eq!(u32_idx(0), 0);
+        assert_eq!(u32_idx(4_294_967_295), u32::MAX);
+        assert_eq!(u16_idx(65_535), u16::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u32 id width")]
+    fn u32_overflow_panics() {
+        u32_idx(1 << 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u16 coordinate width")]
+    fn u16_overflow_panics() {
+        u16_idx(1 << 16);
+    }
+}
