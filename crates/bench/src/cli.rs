@@ -38,7 +38,7 @@ USAGE:
 
 PERF OPTIONS:
     --quick                   CI scenario: WL1 only (full Table II otherwise)
-    --out <path>              where to write the JSON (default: BENCH_8.json)
+    --out <path>              where to write the JSON (default: BENCH_10.json)
     --max-seconds <N>         fail (exit 1) if the optimized run-all exceeds N s
     --gate <baseline.json>    fail (exit 1) on >25% regression in the
                               fig3/dataflows/mapping_search cells vs the committed baseline
@@ -48,7 +48,9 @@ RUN OPTIONS:
     --out <path>              write the rendered output to a file instead of stdout
     --threads <N>             worker threads (results are identical for any N)
     --seed <N>                override the stochastic components' seeds
-    --set <key=value>         SystemConfig override (repeatable; validated)
+    --set <key=value>         SystemConfig override (repeatable; validated);
+                              `faults.*` keys configure the resilience fault model
+                              (e.g. faults.chip_mtbf_ms=20 faults.max_retries=5)
     --arch <name>             architecture subset: Floret, SIAM, Kite, SWAP (repeatable)
     --workload <WLn>          Table II mix subset (repeatable)
     --dataflow <mode>         dataflow subset: WS, OS, IS, FL, searched (repeatable)
@@ -57,13 +59,15 @@ RUN OPTIONS:
 EXAMPLES:
     pim-bench run fig3
     pim-bench run serving                  # multi-tenant fleet serving sweep
+    pim-bench run resilience               # serving under a seeded fault plan
+    pim-bench run resilience --set faults.chip_mtbf_ms=10 --set faults.timeout_ms=16
     pim-bench run dataflows --workload WL1 --dataflow WS --dataflow FL
     pim-bench run mapping_search --workload WL3   # searched loop nests vs the hand modes
     pim-bench run table1 fig3 --format json --out results.json
     pim-bench run all --format json        # supersedes the export_json binary
     pim-bench run fig5 --set sim_sampling=32 --set batch=4 --threads 1
     pim-bench run poisson --strategy greedy
-    pim-bench perf --quick --max-seconds 300 --gate BENCH_8_quick.json";
+    pim-bench perf --quick --max-seconds 300 --gate BENCH_10_quick.json";
 
 /// A CLI failure, split by exit code.
 #[derive(Debug)]
@@ -146,7 +150,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         }
         "perf" => {
             let mut quick = false;
-            let mut out = "BENCH_8.json".to_string();
+            let mut out = "BENCH_10.json".to_string();
             let mut max_seconds = None;
             let mut gate = None;
             let mut it = args[1..].iter();

@@ -7,7 +7,7 @@
 //! bypassed, the seed's reference Gauss-Seidel solver) — plus solver and
 //! DES, serving and mapping-search micro-benchmarks, and writes the
 //! result as JSON
-//! (`BENCH_8.json` at the repo root is the committed baseline of this
+//! (`BENCH_10.json` at the repo root is the committed baseline of this
 //! PR). Future PRs
 //! append `BENCH_<n>.json` files, giving every change a comparable,
 //! scripted perf record instead of hand-waved claims.
@@ -31,7 +31,8 @@
 use std::time::Instant;
 
 use pim_core::{
-    experiments, simulate_serving, CacheStats, RunContext, Scenario, ScenarioError, ServingSpec,
+    experiments, simulate_resilient_serving, simulate_serving, CacheStats, FaultPlan, FaultSpec,
+    ResilienceParams, RunContext, Scenario, ScenarioError, ServingSpec,
 };
 use serde::Serialize;
 use thermal::{solve_red_black, solve_reference, PowerMap, Solver, ThermalConfig};
@@ -119,6 +120,35 @@ pub struct ServingMicro {
     pub events_per_sec: f64,
 }
 
+/// Resilient-serving micro-benchmark: the same saturated fleet as
+/// [`ServingMicro`] but driven through the fault-aware event loop under
+/// a generated fault plan, counting the extra event classes (retries,
+/// failovers, timeouts) next to raw event throughput.
+#[derive(Clone, Debug, Serialize)]
+pub struct FaultEventsMicro {
+    /// Chips in the fleet.
+    pub fleet: usize,
+    /// Simulated horizon, milliseconds.
+    pub horizon_ms: f64,
+    /// Requests generated over the horizon.
+    pub requests: u64,
+    /// Calendar-queue events processed (arrivals, completions, windows,
+    /// chip down/up edges, retry timers).
+    pub events: u64,
+    /// Chip down/up edges in the generated plan.
+    pub chip_faults: usize,
+    /// Retry attempts scheduled across the sweep.
+    pub retries: u64,
+    /// Requests re-homed off a failed chip.
+    pub failovers: u64,
+    /// Requests abandoned after exhausting retry budget or deadline.
+    pub timed_out: u64,
+    /// Wall time of the whole sweep, milliseconds.
+    pub simulate_ms: f64,
+    /// Event-loop throughput, events per second.
+    pub events_per_sec: f64,
+}
+
 /// Mapping-search micro-benchmark: the deterministic beam search over
 /// per-layer loop nests, timed across a slice of the model zoo.
 #[derive(Clone, Debug, Serialize)]
@@ -151,7 +181,7 @@ pub struct CacheSummary {
 pub struct PerfReport {
     /// Schema tag for downstream tooling.
     pub schema: &'static str,
-    /// The PR number this baseline belongs to (`BENCH_8.json`).
+    /// The PR number this baseline belongs to (`BENCH_10.json`).
     pub bench_pr: u32,
     /// Whether the quick (CI) scenario was used.
     pub quick: bool,
@@ -170,6 +200,8 @@ pub struct PerfReport {
     pub des: DesMicro,
     /// Serving event-loop micro-benchmark (calendar-queue throughput).
     pub serving: ServingMicro,
+    /// Fault-aware serving micro-benchmark (retry/failover event load).
+    pub fault_events: FaultEventsMicro,
     /// Mapping-search micro-benchmark (mappings searched per second).
     pub mapping_search: MappingSearchMicro,
     /// Evaluation-cache traffic of the optimized pass.
@@ -343,6 +375,43 @@ fn serving_micro(horizon_ms: f64, threads: usize) -> ServingMicro {
     }
 }
 
+fn fault_events_micro(horizon_ms: f64, threads: usize) -> FaultEventsMicro {
+    // The serving micro's saturated fleet, now under the default fault
+    // model at full scale: chip outages, throttle windows and the
+    // retry/failover machinery all pay into the event count.
+    let mut spec = ServingSpec {
+        fleet: 4,
+        horizon_ms,
+        queue_depth: 64,
+        loads: vec![1.0],
+        ..ServingSpec::default()
+    };
+    for tenant in &mut spec.tenants {
+        tenant.rate_rps *= 20.0;
+    }
+    let fspec = FaultSpec::default();
+    let horizon_ns = (horizon_ms * 1e6).round() as u64;
+    let plan = FaultPlan::generate(&fspec, spec.fleet, 64, horizon_ns, 0x5E41 ^ 0xFA17);
+    let chip_faults = plan.chip_faults.len();
+    let params = ResilienceParams::from_spec(&fspec, plan, 50_000);
+    let t = Instant::now();
+    let out = simulate_resilient_serving(&spec, &params, &SERVING_SERVICE_NS, 0x5E41, threads);
+    let simulate_ms = ms(t);
+    let lp = &out.per_load[0];
+    FaultEventsMicro {
+        fleet: spec.fleet,
+        horizon_ms,
+        requests: out.requests,
+        events: out.events,
+        chip_faults,
+        retries: lp.retries,
+        failovers: lp.failovers,
+        timed_out: lp.timed_out,
+        simulate_ms,
+        events_per_sec: out.events as f64 / (simulate_ms / 1e3).max(f64::MIN_POSITIVE),
+    }
+}
+
 fn mapping_search_micro(reps: u32) -> MappingSearchMicro {
     use dnn::{build_model, Dataset, ModelKind, SegmentGraph};
     let cfg = pim_core::SystemConfig::datacenter_25d().pim;
@@ -438,7 +507,7 @@ pub fn run(quick: bool) -> Result<PerfReport, ScenarioError> {
 
     Ok(PerfReport {
         schema: "pim-bench-perf-v1",
-        bench_pr: 8,
+        bench_pr: 10,
         quick,
         threads,
         experiments,
@@ -452,6 +521,9 @@ pub fn run(quick: bool) -> Result<PerfReport, ScenarioError> {
         des: des_micro(),
         // ≥ 1M events either way; --quick only trims the horizon.
         serving: serving_micro(if quick { 30_000.0 } else { 60_000.0 }, threads),
+        // A shorter horizon: the fault plan's event classes, not raw
+        // throughput, are the point of this counter.
+        fault_events: fault_events_micro(if quick { 3_000.0 } else { 10_000.0 }, threads),
         mapping_search: mapping_search_micro(if quick { 3 } else { 10 }),
         cache,
     })
@@ -498,6 +570,17 @@ impl PerfReport {
             self.serving.events_per_sec / 1e6,
         ));
         out.push_str(&format!(
+            "fault events ({} chips, {:.1} s horizon, {} chip edges): {} events, {} retries / {} failovers / {} timeouts = {:.2}M events/s\n",
+            self.fault_events.fleet,
+            self.fault_events.horizon_ms / 1e3,
+            self.fault_events.chip_faults,
+            self.fault_events.events,
+            self.fault_events.retries,
+            self.fault_events.failovers,
+            self.fault_events.timed_out,
+            self.fault_events.events_per_sec / 1e6,
+        ));
+        out.push_str(&format!(
             "mapping search ({} models x {} reps): {:.1} searches/s, {:.0} candidates/s\n",
             self.mapping_search.models,
             self.mapping_search.reps,
@@ -527,7 +610,7 @@ impl PerfReport {
     /// file should come from the **same scenario** (`quick`, `threads`)
     /// as the gated run; a scenario mismatch is flagged in the summary
     /// but still compared. CI gates its `--quick` run against the
-    /// committed `BENCH_8_quick.json`; absolute wall-clock blowups are
+    /// committed `BENCH_10_quick.json`; absolute wall-clock blowups are
     /// caught separately by `--max-seconds`.
     ///
     /// # Errors
@@ -639,6 +722,22 @@ mod tests {
     }
 
     #[test]
+    fn fault_events_micro_counts_fault_activity() {
+        // A short probe horizon keeps the debug-mode test cheap; the
+        // default MTBF still fires several chip edges inside it.
+        let m = fault_events_micro(500.0, 2);
+        assert_eq!(m.fleet, 4);
+        assert!(m.requests > 10_000, "{} requests", m.requests);
+        assert!(m.events >= m.requests);
+        assert!(m.chip_faults > 0, "plan generated no chip edges");
+        assert!(
+            m.retries + m.failovers + m.timed_out > 0,
+            "no fault activity despite a non-empty plan"
+        );
+        assert!(m.events_per_sec > 0.0);
+    }
+
+    #[test]
     fn mapping_search_micro_counts_candidates() {
         let m = mapping_search_micro(1);
         assert_eq!(m.models, 3);
@@ -667,7 +766,7 @@ mod tests {
             .collect();
         PerfReport {
             schema: "pim-bench-perf-v1",
-            bench_pr: 8,
+            bench_pr: 10,
             quick,
             threads: 1,
             experiments,
@@ -698,6 +797,18 @@ mod tests {
                 horizon_ms: 0.0,
                 requests: 0,
                 events: 0,
+                simulate_ms: 0.0,
+                events_per_sec: 0.0,
+            },
+            fault_events: FaultEventsMicro {
+                fleet: 0,
+                horizon_ms: 0.0,
+                requests: 0,
+                events: 0,
+                chip_faults: 0,
+                retries: 0,
+                failovers: 0,
+                timed_out: 0,
                 simulate_ms: 0.0,
                 events_per_sec: 0.0,
             },

@@ -1,5 +1,6 @@
 //! Golden-file snapshot tests for the `pim-bench` CLI: the `table1`,
-//! `fig3`, `dataflows`, `mapping_search` and `serving` outputs (table
+//! `fig3`, `dataflows`, `mapping_search`, `serving` and `resilience`
+//! outputs (table
 //! and JSON formats) are pinned byte-for-byte under `tests/golden/`. The numeric rows
 //! were verified identical to the pre-redesign per-figure binaries when
 //! the goldens were first recorded, so these snapshots carry that
@@ -104,6 +105,38 @@ fn serving_table_format_is_pinned() {
 #[test]
 fn serving_json_format_is_pinned() {
     assert_golden(&["run", "serving", "--format", "json"], "serving.json");
+}
+
+#[test]
+fn resilience_table_format_is_pinned() {
+    assert_golden(&["run", "resilience"], "resilience.table.txt");
+}
+
+#[test]
+fn resilience_json_format_is_pinned() {
+    assert_golden(
+        &["run", "resilience", "--format", "json"],
+        "resilience.json",
+    );
+}
+
+#[test]
+fn resilience_output_is_thread_count_independent() {
+    // Fault injection must not break the determinism contract: chip
+    // outages, retries, failovers and shedding all replay identically
+    // at 1, 4 and 8 workers.
+    if pim_core::envknobs::is_set("UPDATE_GOLDEN") {
+        return; // the golden is being rewritten concurrently by the pin test
+    }
+    let expected = std::fs::read_to_string(golden_dir().join("resilience.table.txt"))
+        .expect("resilience golden present (run UPDATE_GOLDEN=1 first)");
+    for threads in ["1", "4", "8"] {
+        let got = run_cli(&["run", "resilience", "--threads", threads]);
+        assert_eq!(
+            got, expected,
+            "resilience output drifted at --threads {threads}"
+        );
+    }
 }
 
 #[test]

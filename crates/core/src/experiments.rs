@@ -14,8 +14,8 @@ use dnn::{
 };
 use mapper::{run_poisson, ArrivalConfig};
 use netsim::{
-    analyze, analyze_with_table, generate_pattern, generate_pipeline, simulate_with_table,
-    SimConfig, TrafficPattern,
+    analyze, analyze_with_table, generate_pattern, generate_pipeline, simulate_faulty_with_scratch,
+    simulate_with_table, LinkFaults, RouteTable, SimConfig, SimScratch, TrafficPattern,
 };
 use opt::{NsgaConfig, SaConfig};
 use serde::{Deserialize, Serialize};
@@ -24,14 +24,15 @@ use topology::{kite, kite_with_skips, NodeId, TopologySummary};
 
 use crate::arch::NoiArch;
 use crate::config::SystemConfig;
+use crate::faults::FaultPlan;
 use crate::hetero::{transformer_design_points, HeteroConfig};
 use crate::platform25::{Platform25D, WorkloadReport};
 use crate::platform3d::{PlacementEval, Platform3D};
 use crate::scenario::{
-    CellValue, Column, ExperimentOutput, ExperimentRegistry, ExperimentSpec, Histogram, RunContext,
-    ScenarioError, Table,
+    CellValue, Column, ExperimentOutput, ExperimentRegistry, ExperimentSpec, Histogram,
+    ResolvedScenario, RunContext, ScenarioError, Table,
 };
-use crate::serving::simulate_serving;
+use crate::serving::{simulate_resilient_serving, simulate_serving, ResilienceParams, ServingSpec};
 use crate::sweep::{default_threads, parallel_map, SweepRunner};
 
 /// Table I row: paper's printed parameter count next to ours.
@@ -405,7 +406,7 @@ pub fn registry() -> &'static ExperimentRegistry {
     static REGISTRY: OnceLock<ExperimentRegistry> = OnceLock::new();
     REGISTRY.get_or_init(|| {
         let mut reg = ExperimentRegistry::new();
-        let specs: [(&'static str, &'static str, crate::scenario::RunFn); 21] = [
+        let specs: [(&'static str, &'static str, crate::scenario::RunFn); 22] = [
             (
                 "table1",
                 "Table I: the thirteen DNN workloads, paper-printed vs computed parameters",
@@ -497,6 +498,12 @@ pub fn registry() -> &'static ExperimentRegistry {
                 "Datacenter serving: multi-tenant request streams over a chip fleet, \
                  latency percentiles and SLO attainment vs offered load",
                 run_serving_experiment,
+            ),
+            (
+                "resilience",
+                "Resilience: serving under a seeded fault plan (chip outages, link \
+                 blackouts, throttling) with retry/backoff, failover and load shedding",
+                run_resilience,
             ),
             (
                 "pareto",
@@ -1361,18 +1368,13 @@ fn run_poisson_experiment(ctx: &RunContext) -> Result<ExperimentOutput, Scenario
     Ok(out)
 }
 
-fn run_serving_experiment(ctx: &RunContext) -> Result<ExperimentOutput, ScenarioError> {
-    let s = ctx.scenario();
-    let spec = s.serving.clone().unwrap_or_default();
-    // `resolve()` validates an explicit block; the default is validated
-    // here so a future default regression cannot slip through.
-    spec.validate().map_err(ScenarioError::Serving)?;
-
-    // Per-tenant single-request service latency from the PIM compute
-    // cost model under the scenario's first dataflow.
+/// Per-tenant single-request service latency from the PIM compute cost
+/// model under the scenario's first dataflow. Shared by the `serving`
+/// and `resilience` experiments, so the resilience golden's zero-fault
+/// row stays cell-identical to `serving`.
+fn tenant_service_ns(s: &ResolvedScenario, spec: &ServingSpec) -> Vec<u64> {
     let dataflow = s.dataflows[0];
-    let service_ns: Vec<u64> = spec
-        .tenants
+    spec.tenants
         .iter()
         .map(|t| {
             let e = dnn::table1_entry(&t.model).expect("resolve() validated tenant models");
@@ -1381,9 +1383,22 @@ fn run_serving_experiment(ctx: &RunContext) -> Result<ExperimentOutput, Scenario
             let cost = pim::model_cost_with(&sg, &s.cfg25.pim, dataflow);
             (cost.latency_ns.round() as u64).max(1)
         })
-        .collect();
+        .collect()
+}
 
-    let outcome = simulate_serving(&spec, &service_ns, s.seed_or(0x5E41), s.threads);
+/// The paper-pinned serving/resilience seed (shared so the two
+/// experiments generate identical request streams).
+const SERVING_SEED: u64 = 0x5E41;
+
+fn run_serving_experiment(ctx: &RunContext) -> Result<ExperimentOutput, ScenarioError> {
+    let s = ctx.scenario();
+    let spec = s.serving.clone().unwrap_or_default();
+    // `resolve()` validates an explicit block; the default is validated
+    // here so a future default regression cannot slip through.
+    spec.validate().map_err(ScenarioError::Serving)?;
+
+    let service_ns = tenant_service_ns(s, &spec);
+    let outcome = simulate_serving(&spec, &service_ns, s.seed_or(SERVING_SEED), s.threads);
 
     let mut out = ExperimentOutput::new("serving", "");
     let mut lat = Table::new(
@@ -1469,6 +1484,192 @@ fn run_serving_experiment(ctx: &RunContext) -> Result<ExperimentOutput, Scenario
     Ok(out)
 }
 
+/// Nanoseconds of re-mapping stall charged to every surviving chip per
+/// task the mapper had to move off a lost chip.
+const REMAP_NS_PER_TASK: u64 = 50_000;
+
+fn run_resilience(ctx: &RunContext) -> Result<ExperimentOutput, ScenarioError> {
+    let s = ctx.scenario();
+    let runner = ctx.runner()?;
+    let spec = s.serving.clone().unwrap_or_default();
+    spec.validate().map_err(ScenarioError::Serving)?;
+    let fspec = s.faults.clone().unwrap_or_default();
+    fspec.validate().map_err(ScenarioError::Faults)?;
+    let service_ns = tenant_service_ns(s, &spec);
+    let seed = s.seed_or(SERVING_SEED);
+
+    // The mapping/DES side runs on Floret when the scenario includes
+    // it (the paper's architecture), like the `faults` experiment.
+    let floret = NoiArch::Floret { lambda: 6 };
+    let platform = if s.archs.contains(&floret) {
+        runner.platform(&floret)
+    } else {
+        &runner.platforms()[0]
+    };
+    let wl_name = if s.workloads.iter().any(|n| n == "WL1") {
+        "WL1".to_string()
+    } else {
+        s.workloads[0].clone()
+    };
+    let wl = dnn::table2_workload(&wl_name).expect("resolved workload");
+    let topo = platform.topology();
+    let hw = &s.cfg25.hw;
+    let node_count = s.cfg25.node_count();
+    let horizon_ns = (spec.horizon_ms * 1e6).round() as u64;
+
+    let mut out = ExperimentOutput::new("resilience", "");
+    let mut lat = Table::new(
+        &format!(
+            "resilience vs fault scale ({} chips, {} tenants, {} ms horizon)",
+            spec.fleet,
+            spec.tenants.len(),
+            spec.horizon_ms
+        ),
+        vec![
+            Column::float("scale", 2),
+            Column::float("load", 2),
+            Column::uint("requests"),
+            Column::uint("completed"),
+            Column::uint("rejected"),
+            Column::uint("timed out"),
+            Column::uint("retries"),
+            Column::uint("failovers"),
+            Column::percentile("p50"),
+            Column::percentile("p99"),
+            Column::float("slo attain", 4),
+            Column::float("mean batch", 2),
+        ],
+    );
+    let mut acct = Table::new(
+        &format!(
+            "fault-plan accounting on {} ({wl_name}): remapping and NoI detours",
+            platform.arch_name()
+        ),
+        vec![
+            Column::float("scale", 2),
+            Column::uint("chip downs"),
+            Column::uint("link faults"),
+            Column::uint("remapped tasks"),
+            Column::duration("remap penalty"),
+            Column::uint("fault wait cyc"),
+            Column::uint("faulted hops"),
+            Column::float("mean hop lat", 2),
+        ],
+    );
+
+    let mut des_scratch = SimScratch::new();
+    // One fault-free replay fixes the DES cycle budget; every scale's
+    // blackout onsets then map proportionally onto it so the windows
+    // land inside the replay rather than past its makespan.
+    let flows = generate_pattern(topo, TrafficPattern::UniformRandom, 4096, seed);
+    let base_makespan = simulate_with_table(
+        topo,
+        hw,
+        &flows,
+        &SimConfig::default(),
+        platform.route_table(),
+    )
+    .makespan_cycles;
+    for &scale in &[0.0, 0.5, 1.0, 2.0] {
+        let scaled = fspec.scaled(scale);
+        let plan = FaultPlan::generate(
+            &scaled,
+            spec.fleet,
+            topo.link_count(),
+            horizon_ns,
+            seed ^ 0xFA17,
+        );
+
+        // Permanent chip loss re-maps the lost chips' share of the
+        // workload; the churn departures price the serving-side stall.
+        let downs = plan.distinct_down_chips();
+        let departures = if downs.is_empty() {
+            0
+        } else {
+            // Each fleet chip owns a deterministic slab of chiplets;
+            // losing it takes those chiplets out of the mapping.
+            let failed: Vec<NodeId> = (0..downs.len() * 3)
+                .map(|i| NodeId(topology::narrow::u32_idx((i * 37 + 13) % node_count)))
+                .collect();
+            platform
+                .map_workload_churn_with_faults(&wl, &failed)
+                .departures
+        };
+        let remap_penalty_ns = departures as u64 * REMAP_NS_PER_TASK;
+
+        let params = ResilienceParams::from_spec(&scaled, plan.clone(), remap_penalty_ns);
+        let outcome = simulate_resilient_serving(&spec, &params, &service_ns, seed, s.threads);
+        for lp in &outcome.per_load {
+            lat.push(vec![
+                CellValue::Float(scale),
+                CellValue::Float(lp.load),
+                CellValue::UInt(lp.offered),
+                CellValue::UInt(lp.completed),
+                CellValue::UInt(lp.rejected),
+                CellValue::UInt(lp.timed_out),
+                CellValue::UInt(lp.retries),
+                CellValue::UInt(lp.failovers),
+                CellValue::Duration(lp.p50_ns as f64),
+                CellValue::Duration(lp.p99_ns as f64),
+                CellValue::Float(lp.slo_attainment),
+                CellValue::Float(lp.mean_batch),
+            ]);
+        }
+
+        // The same plan's link blackouts replay in the packet DES:
+        // each onset maps proportionally from the serving horizon onto
+        // the baseline makespan, and the blackout lasts its wall-clock
+        // duration at the 1 us = 1 cycle compression. Uniform
+        // background traffic then measures the per-hop stall.
+        let windows: Vec<(topology::LinkId, u64, u64)> = plan
+            .link_windows()
+            .iter()
+            .map(|&(l, s0, e0)| {
+                let start =
+                    ((s0 as u128 * base_makespan as u128) / horizon_ns.max(1) as u128) as u64;
+                (l, start, start + ((e0 - s0) / 1000).max(1))
+            })
+            .collect();
+        let faults = LinkFaults::from_link_windows(topo, &windows);
+        let report = simulate_faulty_with_scratch(
+            topo,
+            hw,
+            &flows,
+            &SimConfig::default(),
+            platform.route_table(),
+            &faults,
+            &mut des_scratch,
+        );
+        acct.push(vec![
+            CellValue::Float(scale),
+            CellValue::UInt(plan.chip_faults.len() as u64),
+            CellValue::UInt(plan.link_faults.len() as u64),
+            CellValue::UInt(departures as u64),
+            CellValue::Duration(remap_penalty_ns as f64),
+            CellValue::UInt(report.total_fault_wait_cycles),
+            CellValue::UInt(report.faulted_traversals),
+            CellValue::Float(report.mean_hop_header_latency_cycles),
+        ]);
+    }
+    out.tables.push(lat);
+    out.tables.push(acct);
+    out.notes.push(format!(
+        "Fault plan: seeded per-chip MTBF/MTTR renewal + fabric link blackouts, scaled \
+         0/0.5/1/2x; retry backoff {}us base capped {}us, {} retries, {} ms timeout.",
+        fspec.retry.backoff_base_us,
+        fspec.retry.backoff_cap_us,
+        fspec.retry.max_retries,
+        fspec.retry.timeout_ms
+    ));
+    out.notes.push(
+        "Deterministic at any thread count; request conservation (injected = completed + \
+         rejected + timed out) holds at every point; the 0.00-scale row replays the \
+         `serving` experiment exactly."
+            .to_string(),
+    );
+    Ok(out)
+}
+
 fn run_faults(ctx: &RunContext) -> Result<ExperimentOutput, ScenarioError> {
     let s = ctx.scenario();
     let runner = ctx.runner()?;
@@ -1485,6 +1686,9 @@ fn run_faults(ctx: &RunContext) -> Result<ExperimentOutput, ScenarioError> {
     };
     let wl = dnn::table2_workload(&wl_name).expect("resolved workload");
     let node_count = s.cfg25.node_count();
+    let topo = platform.topology();
+    let hw = &s.cfg25.hw;
+    let seed = s.seed_or(7);
 
     let mut out = ExperimentOutput::new("faults", "");
     let mut t = Table::new(
@@ -1498,6 +1702,8 @@ fn run_faults(ctx: &RunContext) -> Result<ExperimentOutput, ScenarioError> {
             Column::uint("failed"),
             Column::float("mean hops", 2),
             Column::uint("departures"),
+            Column::uint("live flows"),
+            Column::float("des hop lat", 2),
         ],
     );
     let fault_counts = [0usize, 2, 5, 10, 15, 20, 30];
@@ -1508,22 +1714,48 @@ fn run_faults(ctx: &RunContext) -> Result<ExperimentOutput, ScenarioError> {
             .collect();
         let outcome = platform.map_workload_churn_with_faults(&wl, &failed);
         let (hops, _) = platform.degraded_hops(&wl, &failed);
+        // Replay uniform background traffic through the packet DES on a
+        // detour table that prices every link touching a dead chiplet
+        // at infinity: the post-fault per-hop header latency.
+        let dead: Vec<topology::LinkId> = topo
+            .links()
+            .iter()
+            .filter(|l| failed.contains(&l.a) || failed.contains(&l.b))
+            .map(|l| l.id)
+            .collect();
+        let detour = RouteTable::build_excluding(topo, hw, &dead);
+        let flows: Vec<netsim::Flow> =
+            generate_pattern(topo, TrafficPattern::UniformRandom, 4096, seed)
+                .into_iter()
+                .filter(|f| f.src != f.dst && detour.next_link(f.src, f.dst).is_some())
+                .collect();
+        let des = simulate_with_table(topo, hw, &flows, &SimConfig::default(), &detour);
         (
             n_faults,
             outcome.placements.len(),
             outcome.failed.len(),
             hops,
             outcome.departures,
+            flows.len(),
+            des.mean_hop_header_latency_cycles,
         )
     });
-    for (n_faults, mapped, failed, hops, departures) in rows {
-        t.push(cells![n_faults, mapped, failed, hops, departures]);
+    for (n_faults, mapped, failed, hops, departures, live, hop_lat) in rows {
+        t.push(cells![
+            n_faults, mapped, failed, hops, departures, live, hop_lat
+        ]);
     }
     out.tables.push(t);
     out.notes.push(
         "The curve re-stitches over dead chiplets: hop counts grow gracefully with the \
          fault count and every task still completes (no task loss until capacity itself \
          is exhausted)."
+            .to_string(),
+    );
+    out.notes.push(
+        "`des hop lat` replays uniform traffic through the packet DES on a detour table \
+         that avoids every link touching a dead chiplet; flows with an unreachable \
+         endpoint are dropped from the replay (`live flows`)."
             .to_string(),
     );
     Ok(out)
@@ -1762,7 +1994,7 @@ mod tests {
     #[test]
     fn registry_covers_every_paper_artifact() {
         let names = registry().names();
-        assert_eq!(names.len(), 21);
+        assert_eq!(names.len(), 22);
         for expected in [
             "table1",
             "table2",
@@ -1782,6 +2014,7 @@ mod tests {
             "poisson",
             "faults",
             "serving",
+            "resilience",
             "pareto",
             "ablation_kite",
             "ablation_thermal",
@@ -1858,6 +2091,53 @@ mod tests {
         for h in &out.histograms {
             assert!(h.total() > 0, "histogram `{}` is empty", h.title);
         }
+    }
+
+    #[test]
+    fn resilience_experiment_replays_serving_at_zero_fault_scale() {
+        use crate::scenario::Scenario;
+        let reg = registry();
+        let res = reg.run_scenario(&Scenario::new("resilience")).unwrap();
+        res.validate().unwrap();
+        assert_eq!(res.tables.len(), 2);
+        // Four fault scales x two offered-load points.
+        assert_eq!(res.tables[0].rows.len(), 8);
+        assert_eq!(res.tables[1].rows.len(), 4);
+
+        let srv = reg.run_scenario(&Scenario::new("serving")).unwrap();
+        // The 0.00-scale rows are cell-identical to the serving
+        // experiment on every shared column, with no fault activity.
+        // lat columns: scale, load, requests, completed, rejected,
+        // timed out, retries, failovers, p50, p99, slo attain, mean batch.
+        for (row, srow) in res.tables[0].rows[..2].iter().zip(&srv.tables[0].rows) {
+            assert_eq!(row[0], CellValue::Float(0.0));
+            assert_eq!(row[1], srow[0], "load");
+            assert_eq!(row[2], srow[2], "requests");
+            assert_eq!(row[3], srow[3], "completed");
+            assert_eq!(row[4], srow[4], "rejected");
+            assert_eq!(row[5], CellValue::UInt(0), "timed out");
+            assert_eq!(row[6], CellValue::UInt(0), "retries");
+            assert_eq!(row[7], CellValue::UInt(0), "failovers");
+            assert_eq!(row[8], srow[5], "p50");
+            assert_eq!(row[9], srow[7], "p99");
+            assert_eq!(row[10], srow[8], "slo attain");
+            assert_eq!(row[11], srow[9], "mean batch");
+        }
+        // At full fault scale the plan is non-empty and the fleet
+        // actually degrades: some fault activity must be visible.
+        let active: u64 = res.tables[0].rows[4..]
+            .iter()
+            .map(|r| {
+                let mut sum = 0;
+                for cell in &r[5..8] {
+                    if let CellValue::UInt(v) = cell {
+                        sum += v;
+                    }
+                }
+                sum
+            })
+            .sum();
+        assert!(active > 0, "no retries/timeouts/failovers at scale >= 1");
     }
 
     #[test]

@@ -44,6 +44,7 @@
 mod arch;
 mod config;
 pub mod experiments;
+pub mod faults;
 pub mod hetero;
 mod platform25;
 mod platform3d;
@@ -54,6 +55,9 @@ pub mod sweep;
 
 pub use arch::NoiArch;
 pub use config::{ConfigError, SystemConfig, SystemConfigBuilder};
+pub use faults::{
+    ChipFault, FaultError, FaultPlan, FaultSpec, LinkFaultWindow, RetryPolicy, ThrottleWindow,
+};
 pub use platform25::{Platform25D, SearchedResolution, WorkloadReport};
 pub use platform3d::{ParetoPoint, PlacementEval, Platform3D};
 pub use scenario::{
@@ -62,7 +66,9 @@ pub use scenario::{
 };
 pub use scratch::SweepScratch;
 pub use serving::{
-    simulate_serving, LoadPointOutcome, ServingOutcome, ServingSpec, TenantSpec, UTIL_SLICES,
+    simulate_resilient_serving, simulate_serving, LoadPointOutcome, ResilienceOutcome,
+    ResilienceParams, ResiliencePointOutcome, ServingError, ServingOutcome, ServingSpec,
+    TenantSpec, UTIL_SLICES,
 };
 pub use sweep::{
     default_threads, parallel_map, CacheStats, EvalCache, SweepRunner, CACHE_MIN_TASKS,

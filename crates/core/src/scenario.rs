@@ -47,7 +47,8 @@ use topology::TopologyError;
 
 use crate::arch::NoiArch;
 use crate::config::{ConfigError, SystemConfig};
-use crate::serving::ServingSpec;
+use crate::faults::{FaultError, FaultSpec};
+use crate::serving::{ServingError, ServingSpec};
 use crate::sweep::{default_threads, CacheStats, SweepRunner};
 
 /// A declarative experiment specification: *which* artifact to
@@ -87,6 +88,11 @@ pub struct Scenario {
     /// `None` = [`ServingSpec::default`]. Validated by
     /// [`Scenario::resolve`].
     pub serving: Option<ServingSpec>,
+    /// Typed fault-model block for the `resilience` experiment; `None` =
+    /// [`FaultSpec::default`]. `--set faults.<key>` overrides apply on
+    /// top (starting from this block or the default), validated by
+    /// [`Scenario::resolve`].
+    pub faults: Option<FaultSpec>,
 }
 
 impl Scenario {
@@ -103,6 +109,7 @@ impl Scenario {
             seed: None,
             strategy: None,
             serving: None,
+            faults: None,
         }
     }
 
@@ -116,10 +123,11 @@ impl Scenario {
     /// [`ScenarioError::Config`] when an override is unknown, fails to
     /// parse, or produces a degenerate config,
     /// [`ScenarioError::Serving`] when the serving block is structurally
-    /// invalid.
+    /// invalid, [`ScenarioError::Faults`] when the fault block or a
+    /// `faults.*` override is.
     pub fn resolve(&self) -> Result<ResolvedScenario, ScenarioError> {
         if let Some(spec) = &self.serving {
-            spec.validate().map_err(ScenarioError::Serving)?;
+            spec.validate()?;
         }
         let archs = if self.archs.is_empty() {
             NoiArch::all()
@@ -141,10 +149,28 @@ impl Scenario {
         } else {
             self.dataflows.clone()
         };
+        // `faults.*` overrides route to the fault spec, everything else
+        // through the validating config builder.
+        let mut cfg_overrides: Vec<(&str, &str)> = Vec::new();
+        let mut fault_overrides: Vec<(&str, &str)> = Vec::new();
+        for (k, v) in &self.overrides {
+            match k.strip_prefix("faults.") {
+                Some(fk) => fault_overrides.push((fk, v.as_str())),
+                None => cfg_overrides.push((k.as_str(), v.as_str())),
+            }
+        }
+        let faults = if self.faults.is_some() || !fault_overrides.is_empty() {
+            let mut spec = self.faults.clone().unwrap_or_default();
+            for (fk, v) in &fault_overrides {
+                spec.set(fk, v)?;
+            }
+            spec.validate()?;
+            Some(spec)
+        } else {
+            None
+        };
         let apply = |base: SystemConfig| -> Result<SystemConfig, ConfigError> {
-            base.builder()
-                .apply(self.overrides.iter().map(|(k, v)| (k.as_str(), v.as_str())))?
-                .build()
+            base.builder().apply(cfg_overrides.iter().copied())?.build()
         };
         Ok(ResolvedScenario {
             experiment: self.experiment.clone(),
@@ -157,6 +183,7 @@ impl Scenario {
             seed: self.seed,
             strategy: self.strategy,
             serving: self.serving.clone(),
+            faults,
         })
     }
 }
@@ -187,6 +214,10 @@ pub struct ResolvedScenario {
     /// Validated serving block; `None` = [`ServingSpec::default`] for
     /// the `serving` experiment, unused elsewhere.
     pub serving: Option<ServingSpec>,
+    /// Validated fault block (`faults.*` overrides applied); `None` =
+    /// [`FaultSpec::default`] for the `resilience` experiment, unused
+    /// elsewhere.
+    pub faults: Option<FaultSpec>,
 }
 
 impl ResolvedScenario {
@@ -218,7 +249,9 @@ pub enum ScenarioError {
     Topology(TopologyError),
     /// The serving block is structurally invalid (bad fleet, loads,
     /// tenant model, ...).
-    Serving(String),
+    Serving(ServingError),
+    /// The fault block or a `faults.*` override is structurally invalid.
+    Faults(FaultError),
     /// A forced mapping strategy cannot apply to the selected
     /// architecture.
     Strategy(String),
@@ -235,7 +268,8 @@ impl fmt::Display for ScenarioError {
             }
             ScenarioError::Config(e) => write!(f, "invalid config: {e}"),
             ScenarioError::Topology(e) => write!(f, "topology build failed: {e}"),
-            ScenarioError::Serving(msg) => write!(f, "invalid serving spec: {msg}"),
+            ScenarioError::Serving(e) => write!(f, "invalid serving spec: {e}"),
+            ScenarioError::Faults(e) => write!(f, "invalid fault spec: {e}"),
             ScenarioError::Strategy(msg) => write!(f, "invalid strategy: {msg}"),
         }
     }
@@ -252,6 +286,18 @@ impl From<ConfigError> for ScenarioError {
 impl From<TopologyError> for ScenarioError {
     fn from(e: TopologyError) -> Self {
         ScenarioError::Topology(e)
+    }
+}
+
+impl From<ServingError> for ScenarioError {
+    fn from(e: ServingError) -> Self {
+        ScenarioError::Serving(e)
+    }
+}
+
+impl From<FaultError> for ScenarioError {
+    fn from(e: FaultError) -> Self {
+        ScenarioError::Faults(e)
     }
 }
 
@@ -922,10 +968,12 @@ mod tests {
         let mut spec = ServingSpec::default();
         spec.tenants[0].model = "M42".into();
         s.serving = Some(spec);
-        match s.resolve().unwrap_err() {
-            ScenarioError::Serving(msg) => assert!(msg.contains("M42"), "{msg}"),
-            other => panic!("expected Serving error, got {other:?}"),
-        }
+        assert_eq!(
+            s.resolve().unwrap_err(),
+            ScenarioError::Serving(crate::serving::ServingError::UnknownModel(
+                "M42".to_string()
+            ))
+        );
         let mut s = Scenario::new("serving");
         s.serving = Some(ServingSpec {
             loads: Vec::new(),
@@ -942,6 +990,46 @@ mod tests {
         let r = s.resolve().unwrap();
         assert_eq!(r.serving, Some(ServingSpec::default()));
         assert_eq!(r.strategy, Some(StrategyKind::Sfc));
+    }
+
+    #[test]
+    fn fault_overrides_route_to_the_fault_spec() {
+        // No block, no overrides: resolves to no fault spec at all.
+        assert_eq!(Scenario::new("resilience").resolve().unwrap().faults, None);
+        // A `faults.*` override alone materializes the default block
+        // with the override applied; config overrides still flow to the
+        // builder alongside it.
+        let mut s = Scenario::new("resilience");
+        s.overrides
+            .push(("faults.chip_mtbf_ms".into(), "10".into()));
+        s.overrides.push(("batch".into(), "4".into()));
+        let r = s.resolve().unwrap();
+        let f = r.faults.expect("override materializes the block");
+        assert_eq!(f.chip_mtbf_ms, 10.0);
+        assert_eq!(f.chip_mttr_ms, FaultSpec::default().chip_mttr_ms);
+        assert_eq!(r.cfg25.batch, 4);
+        // Unknown and unparseable fault keys are typed errors.
+        let mut s = Scenario::new("resilience");
+        s.overrides.push(("faults.bogus".into(), "1".into()));
+        assert_eq!(
+            s.resolve().unwrap_err(),
+            ScenarioError::Faults(FaultError::UnknownKey("faults.bogus".to_string()))
+        );
+        let mut s = Scenario::new("resilience");
+        s.overrides
+            .push(("faults.throttle_duty".into(), "1.5".into()));
+        assert!(matches!(
+            s.resolve().unwrap_err(),
+            ScenarioError::Faults(FaultError::FractionField { .. })
+        ));
+        // An explicit block resolves through and round-trips as JSON.
+        let mut s = Scenario::new("resilience");
+        s.faults = Some(FaultSpec::default());
+        assert_eq!(s.resolve().unwrap().faults, Some(FaultSpec::default()));
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"chip_mtbf_ms\""), "{json}");
+        assert!(json.contains("\"backoff_base_us\""), "{json}");
+        assert_eq!(serde_json::round_trip(&json).unwrap(), json);
     }
 
     #[test]

@@ -20,11 +20,14 @@
 //! `threads` can only change wall-clock time.
 
 use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
 
 use mapper::{sample_arrivals, ArrivalConfig, ArrivalProcess};
 use netsim::CalendarQueue;
 use serde::{Deserialize, Serialize};
 
+use crate::faults::{FaultPlan, FaultSpec, RetryPolicy};
 use crate::sweep::parallel_map;
 
 /// Typed serving-scenario block of a [`crate::Scenario`]: arrival mix,
@@ -112,54 +115,54 @@ impl ServingSpec {
     ///
     /// # Errors
     ///
-    /// A human-readable description of the first problem (wrapped in
-    /// `ScenarioError::Serving` by `Scenario::resolve`).
-    pub fn validate(&self) -> Result<(), String> {
+    /// The first violated constraint as a typed [`ServingError`]
+    /// (wrapped in `ScenarioError::Serving` by `Scenario::resolve`).
+    pub fn validate(&self) -> Result<(), ServingError> {
         if self.fleet == 0 {
-            return Err("fleet must have at least one chip".into());
+            return Err(ServingError::ZeroField("fleet"));
         }
         if self.horizon_ms <= 0.0 || self.horizon_ms.is_nan() {
-            return Err(format!(
-                "horizon_ms must be positive, got {}",
-                self.horizon_ms
-            ));
+            return Err(ServingError::NonPositive {
+                field: "horizon_ms",
+                value: self.horizon_ms,
+            });
         }
         if self.batch_window_us < 0.0 || self.batch_window_us.is_nan() {
-            return Err(format!(
-                "batch_window_us must be nonnegative, got {}",
-                self.batch_window_us
-            ));
+            return Err(ServingError::NegativeWindow(self.batch_window_us));
         }
         if self.max_batch == 0 {
-            return Err("max_batch must be at least 1".into());
+            return Err(ServingError::ZeroField("max_batch"));
         }
         if self.queue_depth == 0 {
-            return Err("queue_depth must be at least 1".into());
+            return Err(ServingError::ZeroField("queue_depth"));
         }
         if self.slo_ms <= 0.0 || self.slo_ms.is_nan() {
-            return Err(format!("slo_ms must be positive, got {}", self.slo_ms));
+            return Err(ServingError::NonPositive {
+                field: "slo_ms",
+                value: self.slo_ms,
+            });
         }
         if self.loads.is_empty() {
-            return Err("loads must name at least one offered-load point".into());
+            return Err(ServingError::EmptyLoads);
         }
-        if let Some(bad) = self.loads.iter().find(|&&l| l <= 0.0 || l.is_nan()) {
-            return Err(format!("load multipliers must be positive, got {bad}"));
+        if let Some(&bad) = self.loads.iter().find(|&&l| l <= 0.0 || l.is_nan()) {
+            return Err(ServingError::NonPositive {
+                field: "load multiplier",
+                value: bad,
+            });
         }
         if self.tenants.is_empty() {
-            return Err("tenants must name at least one model stream".into());
+            return Err(ServingError::EmptyTenants);
         }
         for t in &self.tenants {
             if dnn::table1_entry(&t.model).is_none() {
-                return Err(format!(
-                    "tenant model `{}` is not a Table I workload (M1..M13)",
-                    t.model
-                ));
+                return Err(ServingError::UnknownModel(t.model.clone()));
             }
             if t.rate_rps <= 0.0 || t.rate_rps.is_nan() {
-                return Err(format!(
-                    "tenant `{}` rate_rps must be positive, got {}",
-                    t.model, t.rate_rps
-                ));
+                return Err(ServingError::NonPositiveRate {
+                    model: t.model.clone(),
+                    value: t.rate_rps,
+                });
             }
         }
         Ok(())
@@ -170,6 +173,65 @@ impl ServingSpec {
         self.tenants.iter().map(|t| t.rate_rps).sum::<f64>() * load
     }
 }
+
+/// Why a [`ServingSpec`] was rejected — the typed counterpart of
+/// [`crate::ConfigError`]/[`crate::FaultError`] for the serving block.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServingError {
+    /// A count field (`fleet`, `max_batch`, `queue_depth`) was zero.
+    ZeroField(&'static str),
+    /// A numeric field that must be finite and strictly positive was
+    /// not (`horizon_ms`, `slo_ms`, a load multiplier).
+    NonPositive {
+        /// Field name.
+        field: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// `batch_window_us` must be finite and nonnegative.
+    NegativeWindow(f64),
+    /// `loads` named no offered-load point.
+    EmptyLoads,
+    /// `tenants` named no model stream.
+    EmptyTenants,
+    /// A tenant's model id is not a Table I workload.
+    UnknownModel(String),
+    /// A tenant's `rate_rps` was not finite and strictly positive.
+    NonPositiveRate {
+        /// The tenant's model id.
+        model: String,
+        /// Offending rate.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ServingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServingError::ZeroField(field) => write!(f, "{field} must be at least 1"),
+            ServingError::NonPositive { field, value } => {
+                write!(f, "{field} must be positive, got {value}")
+            }
+            ServingError::NegativeWindow(v) => {
+                write!(f, "batch_window_us must be nonnegative, got {v}")
+            }
+            ServingError::EmptyLoads => {
+                write!(f, "loads must name at least one offered-load point")
+            }
+            ServingError::EmptyTenants => {
+                write!(f, "tenants must name at least one model stream")
+            }
+            ServingError::UnknownModel(m) => {
+                write!(f, "tenant model `{m}` is not a Table I workload (M1..M13)")
+            }
+            ServingError::NonPositiveRate { model, value } => {
+                write!(f, "tenant `{model}` rate_rps must be positive, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServingError {}
 
 /// Serving statistics of one offered-load point, aggregated over the
 /// whole fleet.
@@ -561,6 +623,578 @@ fn percentile_nearest_rank(sorted: &[u64], pct: u64) -> u64 {
     sorted[rank - 1]
 }
 
+// ---------------------------------------------------------------------------
+// Resilient serving: the fleet loop under a fault plan
+// ---------------------------------------------------------------------------
+
+/// How the fleet reacts to a [`FaultPlan`]: the retry/backoff/timeout
+/// policy for lost requests, degraded-mode load shedding, the re-mapping
+/// stall charged to survivors when a chip drops out, and the thermal
+/// throttle slowdown.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResilienceParams {
+    /// The concrete fault timeline the fleet replays.
+    pub plan: FaultPlan,
+    /// Retry/backoff/timeout policy for requests lost to chip failures.
+    pub retry: RetryPolicy,
+    /// While any chip is down, each chip's admission queue depth shrinks
+    /// by this fraction (`[0, 1)`) — degraded-mode load shedding.
+    pub shed_fraction: f64,
+    /// Stall charged to every surviving chip when a chip fails (the
+    /// mapper re-packing the lost chip's work), ns.
+    pub remap_penalty_ns: u64,
+    /// Service-time multiplier for batches launched inside a thermal
+    /// throttle window (≥ 1).
+    pub throttle_slowdown: f64,
+}
+
+impl ResilienceParams {
+    /// A healthy fleet: no faults, no shedding, no throttling. With
+    /// these parameters [`simulate_resilient_serving`] is observably
+    /// identical to [`simulate_serving`].
+    pub fn healthy() -> ResilienceParams {
+        ResilienceParams {
+            plan: FaultPlan::empty(),
+            retry: RetryPolicy::default(),
+            shed_fraction: 0.0,
+            remap_penalty_ns: 0,
+            throttle_slowdown: 1.0,
+        }
+    }
+
+    /// Parameters from a [`FaultSpec`] plus the concrete plan it was
+    /// expanded into and the mapper-derived re-mapping stall.
+    pub fn from_spec(spec: &FaultSpec, plan: FaultPlan, remap_penalty_ns: u64) -> ResilienceParams {
+        ResilienceParams {
+            plan,
+            retry: spec.retry.clone(),
+            shed_fraction: spec.shed_fraction,
+            remap_penalty_ns,
+            throttle_slowdown: spec.throttle_slowdown,
+        }
+    }
+}
+
+/// Serving statistics of one offered-load point under faults.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ResiliencePointOutcome {
+    /// The load multiplier of this point.
+    pub load: f64,
+    /// Offered aggregate request rate, req/s.
+    pub offered_rps: f64,
+    /// Requests generated over the horizon.
+    pub offered: u64,
+    /// Requests completed (admitted, possibly after retries, and served).
+    pub completed: u64,
+    /// Requests turned away by a full admission queue (at first arrival,
+    /// or when a failed chip's queue failed over into full survivors).
+    pub rejected: u64,
+    /// Requests dropped after exhausting retries or their deadline.
+    pub timed_out: u64,
+    /// Retry dispatches (a request lost twice retries twice).
+    pub retries: u64,
+    /// Requests steered away from their home chip (down at arrival, or
+    /// drained from a failing chip's queue).
+    pub failovers: u64,
+    /// Rejections attributable to degraded-mode shedding: the request
+    /// would have fit the healthy queue depth.
+    pub shed: u64,
+    /// Median end-to-end latency (from original arrival), ns.
+    pub p50_ns: u64,
+    /// 95th-percentile end-to-end latency, ns.
+    pub p95_ns: u64,
+    /// 99th-percentile end-to-end latency, ns.
+    pub p99_ns: u64,
+    /// Fraction of *offered* requests served within the SLO (rejections
+    /// and timeouts count as misses).
+    pub slo_attainment: f64,
+    /// Mean requests per launched batch.
+    pub mean_batch: f64,
+    /// Every completed request's latency, ns, ascending.
+    pub latencies_ns: Vec<u64>,
+    /// Calendar-queue events processed (including fault events).
+    pub events: u64,
+}
+
+/// Outcome of a resilient serving sweep, one point per offered load.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ResilienceOutcome {
+    /// Per-load-point statistics, in `spec.loads` order.
+    pub per_load: Vec<ResiliencePointOutcome>,
+    /// Total calendar-queue events processed.
+    pub events: u64,
+    /// Total requests generated.
+    pub requests: u64,
+}
+
+/// Fleet event tags, ordered so that at one instant a chip first
+/// retires its batch, repaired chips come back, windows close, new
+/// arrivals and retries are admitted, and chip failures strike last —
+/// the per-chip `completion < window < arrival` order is preserved, so
+/// an empty fault plan replays [`simulate_serving`] exactly.
+const FTAG_COMPLETION: u64 = 0;
+const FTAG_CHIP_UP: u64 = 1;
+const FTAG_WINDOW: u64 = 2;
+const FTAG_ARRIVAL: u64 = 3;
+const FTAG_RETRY: u64 = 4;
+const FTAG_CHIP_DOWN: u64 = 5;
+
+/// Fleet event key: tag (8 bits) | chip (16 bits) | id (40 bits). Ties
+/// at one instant order by tag, then chip, then id — within a chip the
+/// same order as the per-chip loop's [`event_key`].
+fn fleet_key(tag: u64, chip: usize, id: u64) -> u64 {
+    (tag << 56) | ((chip as u64) << 40) | (id & 0xFF_FFFF_FFFF)
+}
+
+/// Per-chip serving state inside the fleet loop.
+#[derive(Clone, Debug, Default)]
+struct ChipState {
+    /// FIFO admission queue of global request indices.
+    queue: VecDeque<u64>,
+    /// The batch currently in service.
+    in_flight: Vec<u64>,
+    busy: bool,
+    up: bool,
+    /// Armed max-delay window generation (at most one pending).
+    armed: Option<u64>,
+    window_gen: u64,
+    /// Completion generation: bumped when the chip fails, so an
+    /// already-scheduled completion of a lost batch is recognized as
+    /// stale and ignored.
+    comp_gen: u64,
+    /// Earliest instant the chip may launch again (re-mapping stall).
+    blocked_until: u64,
+    batches: u64,
+    batched_requests: u64,
+}
+
+/// Reusable per-thread scratch of the resilient fleet loop: the bucket
+/// calendar plus the per-request retry counters, recycled across every
+/// load point that lands on the worker thread.
+// pim-lint: scratch
+#[derive(Debug)]
+struct FaultScratch {
+    /// Fleet-wide event calendar.
+    events: CalendarQueue,
+    /// Retry attempts per request, indexed by global request id.
+    attempts: Vec<u32>,
+}
+
+impl FaultScratch {
+    fn new() -> FaultScratch {
+        FaultScratch {
+            events: CalendarQueue::new(1024),
+            attempts: Vec::new(),
+        }
+    }
+
+    /// Clears both fields for a fresh run over `n` requests.
+    fn reset(&mut self, n: usize) {
+        self.events.clear();
+        self.attempts.clear();
+        self.attempts.resize(n, 0);
+    }
+}
+
+thread_local! {
+    /// One [`FaultScratch`] per worker thread, reused across sweep cells.
+    static FAULT_SCRATCH: RefCell<FaultScratch> = RefCell::new(FaultScratch::new());
+}
+
+/// One load point's fleet simulation: every chip shares one calendar so
+/// chip failures, repairs, retries and failovers interleave in a single
+/// deterministic order.
+struct FleetSim<'a> {
+    spec: &'a ServingSpec,
+    params: &'a ResilienceParams,
+    service_ns: &'a [u64],
+    requests: &'a [Request],
+    window_ns: u64,
+    chips: Vec<ChipState>,
+    /// Per-chip thermal throttle windows, ascending and disjoint.
+    throttles: Vec<Vec<(u64, u64)>>,
+    /// Chips currently down (degraded mode while > 0).
+    down_count: usize,
+    attempts: &'a mut [u32],
+    latencies: Vec<u64>,
+    rejected: u64,
+    timed_out: u64,
+    retries: u64,
+    failovers: u64,
+    shed: u64,
+    event_count: u64,
+}
+
+impl FleetSim<'_> {
+    /// Admission queue depth right now: the configured depth, shrunk by
+    /// the shed fraction while any chip is down.
+    fn effective_depth(&self) -> usize {
+        if self.down_count == 0 {
+            self.spec.queue_depth
+        } else {
+            let kept = (self.spec.queue_depth as f64) * (1.0 - self.params.shed_fraction);
+            (kept.floor() as usize).max(1)
+        }
+    }
+
+    /// The first up chip scanning round-robin from `home`, if any.
+    fn route(&self, home: usize) -> Option<usize> {
+        let fleet = self.chips.len();
+        (0..fleet)
+            .map(|k| (home + k) % fleet)
+            .find(|&c| self.chips[c].up)
+    }
+
+    /// Whether a batch launched on `chip` at `t` falls in a throttle
+    /// window.
+    fn throttled(&self, chip: usize, t: u64) -> bool {
+        let w = &self.throttles[chip];
+        let i = w.partition_point(|&(s, _)| s <= t);
+        i > 0 && t < w[i - 1].1
+    }
+
+    /// Launches a batch from `chip`'s queue head: up to `max_batch`
+    /// queued requests of the head request's tenant, FIFO — the same
+    /// policy as the per-chip loop, plus the re-mapping stall and the
+    /// throttle slowdown.
+    fn launch(&mut self, events: &mut CalendarQueue, chip: usize, now: u64) {
+        let throttle = self.throttled(chip, now.max(self.chips[chip].blocked_until));
+        let st = &mut self.chips[chip];
+        let head_tenant = self.requests[st.queue[0] as usize].tenant;
+        debug_assert!(st.in_flight.is_empty());
+        let mut kept = VecDeque::with_capacity(st.queue.len());
+        for idx in st.queue.drain(..) {
+            if st.in_flight.len() < self.spec.max_batch
+                && self.requests[idx as usize].tenant == head_tenant
+            {
+                st.in_flight.push(idx);
+            } else {
+                kept.push_back(idx);
+            }
+        }
+        st.queue = kept;
+        st.armed = None;
+        let start = now.max(st.blocked_until);
+        let mut dur = batch_latency_ns(self.service_ns[head_tenant as usize], st.in_flight.len());
+        if throttle {
+            dur = ((dur as f64) * self.params.throttle_slowdown).round() as u64;
+        }
+        st.batches += 1;
+        st.batched_requests += st.in_flight.len() as u64;
+        events.push(start + dur, fleet_key(FTAG_COMPLETION, chip, st.comp_gen));
+    }
+
+    /// Admits request `idx` to `target`'s queue (launching or arming the
+    /// batching window exactly as the per-chip loop does). `false` when
+    /// the queue is full at the current effective depth.
+    fn admit(&mut self, events: &mut CalendarQueue, target: usize, idx: u64, now: u64) -> bool {
+        if self.chips[target].queue.len() >= self.effective_depth() {
+            return false;
+        }
+        self.chips[target].queue.push_back(idx);
+        if !self.chips[target].busy {
+            if self.chips[target].queue.len() >= self.spec.max_batch || self.window_ns == 0 {
+                self.chips[target].busy = true;
+                self.launch(events, target, now);
+            } else if self.chips[target].armed.is_none() {
+                let st = &mut self.chips[target];
+                st.window_gen += 1;
+                st.armed = Some(st.window_gen);
+                events.push(
+                    now + self.window_ns,
+                    fleet_key(FTAG_WINDOW, target, st.window_gen),
+                );
+            }
+        }
+        true
+    }
+
+    /// A rejection at admission; attributes it to degraded-mode
+    /// shedding when the request would have fit the healthy depth.
+    fn reject(&mut self, target: usize) {
+        self.rejected += 1;
+        if self.down_count > 0 && self.chips[target].queue.len() < self.spec.queue_depth {
+            self.shed += 1;
+        }
+    }
+
+    /// Request `idx` was lost (its chip failed, or no chip could take
+    /// it): schedule a bounded-backoff retry, or drop it as timed out
+    /// when retries or the deadline are exhausted.
+    fn retry_or_timeout(&mut self, events: &mut CalendarQueue, idx: u64, now: u64) {
+        let attempts = &mut self.attempts[idx as usize];
+        *attempts += 1;
+        let deadline = self.requests[idx as usize].arrival_ns + self.params.retry.timeout_ns();
+        if *attempts > self.params.retry.max_retries {
+            self.timed_out += 1;
+            return;
+        }
+        let at = now + self.params.retry.backoff_ns(*attempts);
+        if at > deadline {
+            self.timed_out += 1;
+            return;
+        }
+        self.retries += 1;
+        let home = (idx as usize) % self.chips.len();
+        events.push(at, fleet_key(FTAG_RETRY, home, idx));
+    }
+
+    /// Drains the calendar to completion.
+    fn run(&mut self, events: &mut CalendarQueue) {
+        while let Some((now, key)) = events.pop() {
+            self.event_count += 1;
+            let tag = key >> 56;
+            let chip = ((key >> 40) & 0xFFFF) as usize;
+            let id = key & 0xFF_FFFF_FFFF;
+            match tag {
+                FTAG_COMPLETION => {
+                    if !self.chips[chip].up || id != self.chips[chip].comp_gen {
+                        continue; // the chip failed after this batch launched
+                    }
+                    self.chips[chip].busy = false;
+                    let done: Vec<u64> = self.chips[chip].in_flight.drain(..).collect();
+                    for idx in done {
+                        self.latencies
+                            .push(now - self.requests[idx as usize].arrival_ns);
+                    }
+                    if !self.chips[chip].queue.is_empty() {
+                        self.chips[chip].busy = true;
+                        self.launch(events, chip, now);
+                    }
+                }
+                FTAG_CHIP_UP => {
+                    if !self.chips[chip].up {
+                        self.chips[chip].up = true;
+                        self.down_count -= 1;
+                    }
+                }
+                FTAG_WINDOW => {
+                    if self.chips[chip].armed == Some(id) {
+                        self.chips[chip].armed = None;
+                        if !self.chips[chip].busy && !self.chips[chip].queue.is_empty() {
+                            self.chips[chip].busy = true;
+                            self.launch(events, chip, now);
+                        }
+                    }
+                }
+                FTAG_ARRIVAL => {
+                    let home = (id as usize) % self.chips.len();
+                    match self.route(home) {
+                        None => self.retry_or_timeout(events, id, now),
+                        Some(t) => {
+                            if t != home {
+                                self.failovers += 1;
+                            }
+                            if !self.admit(events, t, id, now) {
+                                self.reject(t);
+                            }
+                        }
+                    }
+                }
+                FTAG_RETRY => {
+                    let home = (id as usize) % self.chips.len();
+                    match self.route(home) {
+                        // Nowhere to land (fleet down or target full):
+                        // back off again rather than reject an already
+                        // admitted-once request.
+                        None => self.retry_or_timeout(events, id, now),
+                        Some(t) => {
+                            if !self.admit(events, t, id, now) {
+                                self.retry_or_timeout(events, id, now);
+                            }
+                        }
+                    }
+                }
+                FTAG_CHIP_DOWN => {
+                    if !self.chips[chip].up {
+                        continue;
+                    }
+                    self.down_count += 1;
+                    let st = &mut self.chips[chip];
+                    st.up = false;
+                    st.busy = false;
+                    st.armed = None;
+                    st.comp_gen += 1;
+                    let lost: Vec<u64> = st.in_flight.drain(..).collect();
+                    let orphans: Vec<u64> = st.queue.drain(..).collect();
+                    // In-flight work on the dead chip is lost: clients
+                    // retry with backoff against their deadline.
+                    for idx in lost {
+                        self.retry_or_timeout(events, idx, now);
+                    }
+                    // Queued-but-unserved requests fail over to the
+                    // surviving chips in FIFO order.
+                    for idx in orphans {
+                        match self.route((idx as usize) % self.chips.len()) {
+                            None => self.retry_or_timeout(events, idx, now),
+                            Some(t) => {
+                                self.failovers += 1;
+                                if !self.admit(events, t, idx, now) {
+                                    self.reject(t);
+                                }
+                            }
+                        }
+                    }
+                    // Survivors stall while the mapper re-packs the lost
+                    // chip's share of the workload.
+                    if self.params.remap_penalty_ns > 0 {
+                        for c in 0..self.chips.len() {
+                            if c != chip && self.chips[c].up {
+                                let s = &mut self.chips[c];
+                                s.blocked_until =
+                                    s.blocked_until.max(now + self.params.remap_penalty_ns);
+                            }
+                        }
+                    }
+                }
+                _ => unreachable!("unknown fleet event tag {tag}"),
+            }
+        }
+    }
+}
+
+/// Runs the serving sweep under a fault plan: for every offered-load
+/// point the whole fleet shares one calendar, so chip failures and
+/// repairs, bounded-backoff retries, failovers, degraded-mode shedding
+/// and re-mapping stalls replay in one deterministic order.
+///
+/// With [`ResilienceParams::healthy`] this is observably identical to
+/// [`simulate_serving`] (same streams, same per-chip policy, same
+/// counters) — pinned by a unit test and the `resilience` golden's
+/// zero-fault row.
+///
+/// Request accounting is conservative by construction and checked in
+/// debug builds: `offered == completed + rejected + timed_out` at every
+/// load point.
+///
+/// # Panics
+///
+/// Panics when `service_ns.len() != spec.tenants.len()` or when a
+/// service latency is zero (the spec should be validated first).
+pub fn simulate_resilient_serving(
+    spec: &ServingSpec,
+    params: &ResilienceParams,
+    service_ns: &[u64],
+    seed: u64,
+    threads: usize,
+) -> ResilienceOutcome {
+    assert_eq!(service_ns.len(), spec.tenants.len());
+    assert!(
+        service_ns.iter().all(|&s| s > 0),
+        "service latencies must be positive"
+    );
+    let window_ns = (spec.batch_window_us * 1e3).round() as u64;
+    let slo_ns = (spec.slo_ms * 1e6) as u64;
+
+    // Streams are generated once, single-threaded, with the same seeds
+    // as `simulate_serving`; load points then simulate independently.
+    let streams: Vec<(f64, Vec<Request>)> = spec
+        .loads
+        .iter()
+        .map(|&load| (load, generate_stream(spec, load, seed)))
+        .collect();
+
+    let per_load = parallel_map(&streams, threads, |(load, requests)| {
+        FAULT_SCRATCH.with(|s| {
+            let scratch = &mut *s.borrow_mut();
+            scratch.reset(requests.len());
+            let mut chips = vec![ChipState::default(); spec.fleet];
+            for c in &mut chips {
+                c.up = true;
+            }
+            let mut throttles = vec![Vec::new(); spec.fleet];
+            if params.throttle_slowdown > 1.0 {
+                for w in &params.plan.throttles {
+                    if (w.chip as usize) < spec.fleet {
+                        throttles[w.chip as usize].push((w.start_ns, w.end_ns));
+                    }
+                }
+            }
+            let events = &mut scratch.events;
+            for (i, r) in requests.iter().enumerate() {
+                events.push(
+                    r.arrival_ns,
+                    fleet_key(FTAG_ARRIVAL, i % spec.fleet, i as u64),
+                );
+            }
+            for (k, cf) in params.plan.chip_faults.iter().enumerate() {
+                if (cf.chip as usize) < spec.fleet {
+                    events.push(
+                        cf.down_ns,
+                        fleet_key(FTAG_CHIP_DOWN, cf.chip as usize, k as u64),
+                    );
+                    events.push(
+                        cf.up_ns,
+                        fleet_key(FTAG_CHIP_UP, cf.chip as usize, k as u64),
+                    );
+                }
+            }
+            let mut sim = FleetSim {
+                spec,
+                params,
+                service_ns,
+                requests,
+                window_ns,
+                chips,
+                throttles,
+                down_count: 0,
+                attempts: &mut scratch.attempts,
+                latencies: Vec::new(),
+                rejected: 0,
+                timed_out: 0,
+                retries: 0,
+                failovers: 0,
+                shed: 0,
+                event_count: 0,
+            };
+            sim.run(events);
+
+            let offered = requests.len() as u64;
+            debug_assert_eq!(
+                offered,
+                sim.latencies.len() as u64 + sim.rejected + sim.timed_out,
+                "request conservation: injected = completed + rejected + timed out"
+            );
+            sim.latencies.sort_unstable();
+            let attained = sim.latencies.partition_point(|&l| l <= slo_ns) as u64;
+            let batches: u64 = sim.chips.iter().map(|c| c.batches).sum();
+            let batched: u64 = sim.chips.iter().map(|c| c.batched_requests).sum();
+            ResiliencePointOutcome {
+                load: *load,
+                offered_rps: spec.offered_rps(*load),
+                offered,
+                completed: sim.latencies.len() as u64,
+                rejected: sim.rejected,
+                timed_out: sim.timed_out,
+                retries: sim.retries,
+                failovers: sim.failovers,
+                shed: sim.shed,
+                p50_ns: percentile_nearest_rank(&sim.latencies, 50),
+                p95_ns: percentile_nearest_rank(&sim.latencies, 95),
+                p99_ns: percentile_nearest_rank(&sim.latencies, 99),
+                slo_attainment: if offered == 0 {
+                    1.0
+                } else {
+                    attained as f64 / offered as f64
+                },
+                mean_batch: if batches == 0 {
+                    0.0
+                } else {
+                    batched as f64 / batches as f64
+                },
+                latencies_ns: sim.latencies,
+                events: sim.event_count,
+            }
+        })
+    });
+
+    ResilienceOutcome {
+        requests: per_load.iter().map(|l| l.offered).sum(),
+        events: per_load.iter().map(|l| l.events).sum(),
+        per_load,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -580,25 +1214,111 @@ mod tests {
     }
 
     #[test]
-    fn validation_names_the_problem() {
+    fn zero_fleet_is_rejected() {
         let mut s = spec();
         s.fleet = 0;
-        assert!(s.validate().unwrap_err().contains("fleet"));
+        assert_eq!(s.validate(), Err(ServingError::ZeroField("fleet")));
+    }
+
+    #[test]
+    fn nonpositive_horizon_is_rejected() {
         let mut s = spec();
-        s.loads.clear();
-        assert!(s.validate().unwrap_err().contains("load"));
+        s.horizon_ms = 0.0;
+        assert_eq!(
+            s.validate(),
+            Err(ServingError::NonPositive {
+                field: "horizon_ms",
+                value: 0.0
+            })
+        );
+    }
+
+    #[test]
+    fn negative_batch_window_is_rejected() {
         let mut s = spec();
-        s.loads = vec![0.0];
-        assert!(s.validate().unwrap_err().contains("positive"));
-        let mut s = spec();
-        s.tenants[1].model = "M99".into();
-        assert!(s.validate().unwrap_err().contains("M99"));
-        let mut s = spec();
-        s.slo_ms = -1.0;
-        assert!(s.validate().unwrap_err().contains("slo_ms"));
+        s.batch_window_us = -3.0;
+        assert_eq!(s.validate(), Err(ServingError::NegativeWindow(-3.0)));
+    }
+
+    #[test]
+    fn zero_max_batch_is_rejected() {
         let mut s = spec();
         s.max_batch = 0;
-        assert!(s.validate().unwrap_err().contains("max_batch"));
+        assert_eq!(s.validate(), Err(ServingError::ZeroField("max_batch")));
+    }
+
+    #[test]
+    fn zero_queue_depth_is_rejected() {
+        let mut s = spec();
+        s.queue_depth = 0;
+        assert_eq!(s.validate(), Err(ServingError::ZeroField("queue_depth")));
+    }
+
+    #[test]
+    fn nonpositive_slo_is_rejected() {
+        let mut s = spec();
+        s.slo_ms = -1.0;
+        assert_eq!(
+            s.validate(),
+            Err(ServingError::NonPositive {
+                field: "slo_ms",
+                value: -1.0
+            })
+        );
+    }
+
+    #[test]
+    fn empty_loads_are_rejected() {
+        let mut s = spec();
+        s.loads.clear();
+        assert_eq!(s.validate(), Err(ServingError::EmptyLoads));
+    }
+
+    #[test]
+    fn nonpositive_load_multiplier_is_rejected() {
+        let mut s = spec();
+        s.loads = vec![1.0, 0.0];
+        assert_eq!(
+            s.validate(),
+            Err(ServingError::NonPositive {
+                field: "load multiplier",
+                value: 0.0
+            })
+        );
+    }
+
+    #[test]
+    fn empty_tenant_mix_is_rejected() {
+        let mut s = spec();
+        s.tenants.clear();
+        assert_eq!(s.validate(), Err(ServingError::EmptyTenants));
+    }
+
+    #[test]
+    fn unknown_tenant_model_is_rejected() {
+        let mut s = spec();
+        s.tenants[1].model = "M99".into();
+        assert_eq!(
+            s.validate(),
+            Err(ServingError::UnknownModel("M99".to_string()))
+        );
+        // The message still names the model for the CLI surface.
+        assert!(ServingError::UnknownModel("M99".to_string())
+            .to_string()
+            .contains("M99"));
+    }
+
+    #[test]
+    fn nonpositive_tenant_rate_is_rejected() {
+        let mut s = spec();
+        s.tenants[0].rate_rps = 0.0;
+        assert_eq!(
+            s.validate(),
+            Err(ServingError::NonPositiveRate {
+                model: "M1".to_string(),
+                value: 0.0
+            })
+        );
     }
 
     #[test]
@@ -692,5 +1412,153 @@ mod tests {
         let four = batch_latency_ns(base, 4);
         assert!(four < 4 * base, "batching must amortize: {four}");
         assert!(four > base);
+    }
+
+    // -- resilience -------------------------------------------------------
+
+    /// A plan with a couple of mid-horizon outages on chip 0 plus link
+    /// and throttle noise.
+    fn faulty_params() -> ResilienceParams {
+        ResilienceParams {
+            plan: FaultPlan {
+                chip_faults: vec![
+                    crate::faults::ChipFault {
+                        chip: 0,
+                        down_ns: 9_000_000,
+                        up_ns: 14_000_000,
+                    },
+                    crate::faults::ChipFault {
+                        chip: 0,
+                        down_ns: 31_000_000,
+                        up_ns: 36_000_000,
+                    },
+                ],
+                link_faults: Vec::new(),
+                throttles: vec![crate::faults::ThrottleWindow {
+                    chip: 1,
+                    start_ns: 20_000_000,
+                    end_ns: 26_000_000,
+                }],
+            },
+            retry: RetryPolicy::default(),
+            shed_fraction: 0.25,
+            remap_penalty_ns: 50_000,
+            throttle_slowdown: 1.5,
+        }
+    }
+
+    #[test]
+    fn healthy_fleet_loop_replays_simulate_serving_exactly() {
+        let s = spec();
+        let svc = service();
+        let base = simulate_serving(&s, &svc, 7, 2);
+        let res = simulate_resilient_serving(&s, &ResilienceParams::healthy(), &svc, 7, 2);
+        assert_eq!(base.per_load.len(), res.per_load.len());
+        for (b, r) in base.per_load.iter().zip(&res.per_load) {
+            assert_eq!(b.load, r.load);
+            assert_eq!(b.offered_rps, r.offered_rps);
+            assert_eq!(b.offered, r.offered);
+            assert_eq!(b.completed, r.completed);
+            assert_eq!(b.rejected, r.rejected);
+            assert_eq!(r.timed_out, 0);
+            assert_eq!(r.retries, 0);
+            assert_eq!(r.failovers, 0);
+            assert_eq!(r.shed, 0);
+            assert_eq!(b.latencies_ns, r.latencies_ns);
+            assert_eq!(b.p50_ns, r.p50_ns);
+            assert_eq!(b.p95_ns, r.p95_ns);
+            assert_eq!(b.p99_ns, r.p99_ns);
+            assert_eq!(b.slo_attainment, r.slo_attainment);
+            assert_eq!(b.mean_batch, r.mean_batch);
+        }
+        assert_eq!(base.requests, res.requests);
+    }
+
+    #[test]
+    fn resilient_serving_is_deterministic_across_thread_counts() {
+        let s = spec();
+        let svc = service();
+        let p = faulty_params();
+        let one = simulate_resilient_serving(&s, &p, &svc, 7, 1);
+        let four = simulate_resilient_serving(&s, &p, &svc, 7, 4);
+        let eight = simulate_resilient_serving(&s, &p, &svc, 7, 8);
+        assert_eq!(one, four);
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn conservation_holds_under_faults() {
+        let s = spec();
+        let out = simulate_resilient_serving(&s, &faulty_params(), &service(), 3, 2);
+        for lp in &out.per_load {
+            assert_eq!(
+                lp.offered,
+                lp.completed + lp.rejected + lp.timed_out,
+                "injected = completed + rejected + timed out"
+            );
+            assert!(lp.p50_ns <= lp.p95_ns && lp.p95_ns <= lp.p99_ns);
+            assert!((0.0..=1.0).contains(&lp.slo_attainment));
+        }
+    }
+
+    #[test]
+    fn chip_outages_trigger_retries_and_failovers() {
+        let s = spec();
+        let out = simulate_resilient_serving(&s, &faulty_params(), &service(), 3, 1);
+        let healthy =
+            simulate_resilient_serving(&s, &ResilienceParams::healthy(), &service(), 3, 1);
+        let (f, h) = (&out.per_load[1], &healthy.per_load[1]);
+        // Outages must be visible: work is steered off the dead chip
+        // and/or lost in flight and retried.
+        assert!(f.failovers > 0, "no failovers despite two outages");
+        assert!(
+            f.retries + f.timed_out > 0,
+            "no lost in-flight work despite mid-batch failures"
+        );
+        // A degraded fleet can only do worse than a healthy one.
+        assert!(f.slo_attainment <= h.slo_attainment);
+    }
+
+    #[test]
+    fn whole_fleet_down_times_requests_out() {
+        let mut s = spec();
+        s.loads = vec![1.0];
+        // Both chips dead across the entire horizon: nothing completes,
+        // everything retries into the void and times out.
+        let p = ResilienceParams {
+            plan: FaultPlan {
+                chip_faults: vec![
+                    crate::faults::ChipFault {
+                        chip: 0,
+                        down_ns: 0,
+                        up_ns: u64::MAX,
+                    },
+                    crate::faults::ChipFault {
+                        chip: 1,
+                        down_ns: 0,
+                        up_ns: u64::MAX,
+                    },
+                ],
+                ..FaultPlan::empty()
+            },
+            ..ResilienceParams::healthy()
+        };
+        let out = simulate_resilient_serving(&s, &p, &service(), 5, 1);
+        let lp = &out.per_load[0];
+        assert_eq!(lp.completed, 0);
+        assert_eq!(lp.timed_out, lp.offered);
+        assert_eq!(lp.slo_attainment, 0.0);
+        assert!(lp.retries > 0);
+    }
+
+    #[test]
+    fn shedding_shrinks_the_degraded_queue() {
+        let mut s = spec();
+        s.loads = vec![6.0]; // overload so queues stay full
+        s.queue_depth = 8;
+        let mut p = faulty_params();
+        p.shed_fraction = 0.75;
+        let out = simulate_resilient_serving(&s, &p, &service(), 5, 1);
+        assert!(out.per_load[0].shed > 0, "no shed rejections in overload");
     }
 }

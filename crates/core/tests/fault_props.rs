@@ -1,0 +1,155 @@
+//! Property-based tests of the fault-injection/resilience layer:
+//! retry-backoff purity, request conservation under random fault
+//! plans, and thread-count independence of the resilient event loop.
+
+use mapper::ArrivalProcess;
+use pim_core::{
+    simulate_resilient_serving, FaultPlan, FaultSpec, ResilienceParams, RetryPolicy, ServingSpec,
+    TenantSpec,
+};
+use proptest::prelude::*;
+
+/// A short two-chip spec the properties can afford to replay many
+/// times: one load point, two tenants, a 12 ms horizon.
+fn short_spec() -> ServingSpec {
+    ServingSpec {
+        fleet: 2,
+        horizon_ms: 12.0,
+        batch_window_us: 150.0,
+        max_batch: 4,
+        queue_depth: 8,
+        slo_ms: 8.0,
+        loads: vec![1.1],
+        tenants: vec![
+            TenantSpec {
+                model: "M1".to_string(),
+                rate_rps: 420.0,
+                process: ArrivalProcess::Poisson,
+            },
+            TenantSpec {
+                model: "M9".to_string(),
+                rate_rps: 700.0,
+                process: ArrivalProcess::Bursty { burst: 4 },
+            },
+        ],
+    }
+}
+
+/// Fixed per-tenant service times (ns) so the properties do not have
+/// to build DNN cost models per case.
+const SERVICE_NS: [u64; 2] = [620_000, 310_000];
+
+/// A fault spec whose aggressiveness is driven by the sampled inputs.
+fn arb_fault_spec(mtbf_ms: f64, mttr_ms: f64, link_rate: f64, shed: f64) -> FaultSpec {
+    FaultSpec {
+        chip_mtbf_ms: mtbf_ms,
+        chip_mttr_ms: mttr_ms,
+        link_rate_per_ms: link_rate,
+        shed_fraction: shed,
+        ..FaultSpec::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `RetryPolicy::backoff_ns` is a pure function of the attempt
+    /// number: identical across calls, non-decreasing in the attempt,
+    /// and clamped to the configured cap. The whole retry schedule is
+    /// therefore deterministic — no RNG state leaks into it.
+    #[test]
+    fn backoff_schedule_is_pure_monotone_and_capped(
+        base_us in 1.0f64..2_000.0,
+        cap_mult in 1.0f64..64.0,
+        max_retries in 0u32..9,
+    ) {
+        let policy = RetryPolicy {
+            max_retries,
+            backoff_base_us: base_us,
+            backoff_cap_us: base_us * cap_mult,
+            timeout_ms: 24.0,
+        };
+        let cap_ns = (policy.backoff_cap_us * 1e3).round() as u64;
+        let mut prev = 0u64;
+        for attempt in 1..=max_retries.max(1) {
+            let b = policy.backoff_ns(attempt);
+            prop_assert_eq!(b, policy.backoff_ns(attempt), "backoff is not pure");
+            prop_assert!(b >= prev, "backoff shrank: {} < {}", b, prev);
+            prop_assert!(b <= cap_ns, "backoff {} above cap {}", b, cap_ns);
+            prev = b;
+        }
+    }
+
+    /// Every request injected into the resilient fleet is accounted
+    /// for exactly once — completed, rejected, or timed out — under
+    /// arbitrary generated fault plans.
+    #[test]
+    fn request_conservation_under_random_fault_plans(
+        seed in 0u64..1_000_000,
+        mtbf_ms in 0.5f64..60.0,
+        mttr_ms in 0.5f64..12.0,
+        link_rate in 0.0f64..2.0,
+        shed in 0.0f64..0.9,
+    ) {
+        let spec = short_spec();
+        let fspec = arb_fault_spec(mtbf_ms, mttr_ms, link_rate, shed);
+        let horizon_ns = (spec.horizon_ms * 1e6).round() as u64;
+        let plan = FaultPlan::generate(&fspec, spec.fleet, 64, horizon_ns, seed);
+        let params = ResilienceParams::from_spec(&fspec, plan, 50_000);
+        let out = simulate_resilient_serving(&spec, &params, &SERVICE_NS, seed, 1);
+        for lp in &out.per_load {
+            prop_assert_eq!(
+                lp.offered,
+                lp.completed + lp.rejected + lp.timed_out,
+                "conservation broke at load {}: {} offered vs {} + {} + {}",
+                lp.load, lp.offered, lp.completed, lp.rejected, lp.timed_out
+            );
+            prop_assert_eq!(lp.completed as usize, lp.latencies_ns.len());
+        }
+    }
+
+    /// The resilient event loop is byte-identical at any thread count:
+    /// the whole outcome (counters, percentiles, every latency sample)
+    /// must match between 1, 3 and 8 worker threads.
+    #[test]
+    fn resilient_outcome_is_thread_count_independent(
+        seed in 0u64..1_000_000,
+        mtbf_ms in 0.5f64..40.0,
+    ) {
+        let mut spec = short_spec();
+        spec.loads = vec![0.7, 1.3];
+        let fspec = arb_fault_spec(mtbf_ms, 4.0, 0.5, 0.25);
+        let horizon_ns = (spec.horizon_ms * 1e6).round() as u64;
+        let plan = FaultPlan::generate(&fspec, spec.fleet, 64, horizon_ns, seed);
+        let params = ResilienceParams::from_spec(&fspec, plan, 50_000);
+        let one = simulate_resilient_serving(&spec, &params, &SERVICE_NS, seed, 1);
+        let three = simulate_resilient_serving(&spec, &params, &SERVICE_NS, seed, 3);
+        let eight = simulate_resilient_serving(&spec, &params, &SERVICE_NS, seed, 8);
+        prop_assert_eq!(&one, &three);
+        prop_assert_eq!(&one, &eight);
+    }
+
+    /// `FaultPlan::generate` itself is deterministic in its seed and
+    /// shape-stable: windows are ordered, non-empty intervals stay
+    /// inside the padded horizon bookkeeping, and chips stay in-fleet.
+    #[test]
+    fn generated_plans_are_seeded_and_well_formed(
+        seed in 0u64..1_000_000,
+        fleet in 2usize..9,
+        mtbf_ms in 0.5f64..30.0,
+    ) {
+        let fspec = arb_fault_spec(mtbf_ms, 2.0, 1.0, 0.2);
+        let plan = FaultPlan::generate(&fspec, fleet, 64, 12_000_000, seed);
+        prop_assert_eq!(&plan, &FaultPlan::generate(&fspec, fleet, 64, 12_000_000, seed));
+        for f in &plan.chip_faults {
+            prop_assert!((f.chip as usize) < fleet);
+            prop_assert!(f.down_ns < f.up_ns);
+        }
+        for w in &plan.link_faults {
+            prop_assert!((w.link as usize) < 64);
+            prop_assert!(w.start_ns < w.end_ns);
+        }
+        let downs: Vec<u64> = plan.chip_faults.iter().map(|f| f.down_ns).collect();
+        prop_assert!(downs.windows(2).all(|p| p[0] <= p[1]), "chip faults unsorted");
+    }
+}

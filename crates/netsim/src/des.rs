@@ -78,6 +78,73 @@ pub struct SimReport {
     /// and one delivery event per packet, plus one wake per contended
     /// channel acquisition.
     pub heap_events: u64,
+    /// Cycles headers spent stalled at transiently faulted channels,
+    /// summed over all deferrals (zero on a healthy network).
+    pub total_fault_wait_cycles: u64,
+    /// Header arrivals deferred by a channel fault window.
+    pub faulted_traversals: u64,
+}
+
+/// Transient channel fault windows for one simulation run: a header
+/// arriving at a faulted channel defers (one re-scheduled event) to the
+/// window end, accumulating [`SimReport::total_fault_wait_cycles`].
+/// Windows gate header *arrivals*; a header already parked in the
+/// channel's FIFO when the fault strikes is granted normally, modelling
+/// a link that drops its handshake but preserves buffered flits.
+#[derive(Clone, Debug, Default)]
+pub struct LinkFaults {
+    /// `windows[channel]` holds ascending, non-overlapping `[start, end)`
+    /// fault intervals in cycles.
+    windows: Vec<Vec<(u64, u64)>>,
+}
+
+impl LinkFaults {
+    /// A fault set with no windows (the healthy network).
+    pub fn none() -> LinkFaults {
+        LinkFaults::default()
+    }
+
+    /// Builds the per-channel window set from undirected link faults:
+    /// each `(link, start, end)` blackout covers both directed channels
+    /// of the link. Windows are sorted and merged per channel.
+    pub fn from_link_windows(topo: &Topology, faults: &[(LinkId, u64, u64)]) -> LinkFaults {
+        let n_links = topo.link_count();
+        let mut windows = vec![Vec::new(); 2 * n_links + topo.node_count()];
+        for &(lid, start, end) in faults {
+            if end <= start {
+                continue;
+            }
+            windows[lid.0 as usize].push((start, end));
+            windows[lid.0 as usize + n_links].push((start, end));
+        }
+        for w in &mut windows {
+            w.sort_unstable();
+            let mut merged: Vec<(u64, u64)> = Vec::with_capacity(w.len());
+            for &(s, e) in w.iter() {
+                match merged.last_mut() {
+                    Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                    _ => merged.push((s, e)),
+                }
+            }
+            *w = merged;
+        }
+        LinkFaults { windows }
+    }
+
+    /// True when no channel has a fault window.
+    pub fn is_empty(&self) -> bool {
+        self.windows.iter().all(Vec::is_empty)
+    }
+
+    /// The end of the fault window covering channel `ch` at time `t`,
+    /// or `None` when the channel is healthy at `t`.
+    fn blocked_until(&self, ch: usize, t: u64) -> Option<u64> {
+        let w = self.windows.get(ch)?;
+        // Last window starting at or before t; windows are disjoint.
+        let idx = w.partition_point(|&(s, _)| s <= t);
+        let &(_, end) = w.get(idx.checked_sub(1)?)?;
+        (t < end).then_some(end)
+    }
 }
 
 #[derive(PartialEq, Eq)]
@@ -183,6 +250,8 @@ struct LoopStats {
     hop_latency_max: u64,
     wait_total: u64,
     heap_events: u64,
+    fault_wait_total: u64,
+    faulted_traversals: u64,
 }
 
 /// Reusable simulator state: the packet arena, the scheduler (busy
@@ -323,10 +392,11 @@ impl SimScratch {
         );
     }
 
-    /// Handles a Header event: deliver past the last hop, acquire a free
-    /// channel, or park on a busy one (the first waiter arms the
-    /// channel's release event). Returns `true` on delivery.
-    fn dispatch_header(&mut self, seq: u32, hop: u16, time: u64) -> bool {
+    /// Handles a Header event: deliver past the last hop, defer off a
+    /// faulted channel, acquire a free channel, or park on a busy one
+    /// (the first waiter arms the channel's release event). Returns
+    /// `true` on delivery.
+    fn dispatch_header(&mut self, seq: u32, hop: u16, time: u64, faults: &LinkFaults) -> bool {
         let s = seq as usize;
         if hop as usize >= self.arena.hops(s) {
             // Tail drains one serialization window after the header
@@ -335,6 +405,16 @@ impl SimScratch {
             return true;
         }
         let ch = self.arena.channels[self.arena.start(s) + hop as usize] as usize;
+        if let Some(end) = faults.blocked_until(ch, time) {
+            // The channel is mid-blackout: defer the header to the
+            // window end with a single rescheduled event (re-checked on
+            // arrival, so back-to-back windows chain naturally).
+            self.stats.fault_wait_total += end - time;
+            self.stats.faulted_traversals += 1;
+            self.queue
+                .push(end, EventKind::Header { seq, hop }.order_key());
+            return false;
+        }
         if self.busy_until[ch] <= time && !self.has_waiters(ch) {
             self.acquire(seq, hop, time, time);
         } else {
@@ -435,7 +515,7 @@ fn build_packets_into(
 /// hop; a header that finds its channel busy parks in the channel's FIFO
 /// and is woken by a single [`EventKind::Free`] event, so contended
 /// channels serve strictly in header-arrival order.
-fn run_event_loop(st: &mut SimScratch, n_channels: usize) {
+fn run_event_loop(st: &mut SimScratch, n_channels: usize, faults: &LinkFaults) {
     st.reset_engine(n_channels);
     let n = st.arena.len();
     let mut delivered = 0usize;
@@ -452,7 +532,7 @@ fn run_event_loop(st: &mut SimScratch, n_channels: usize) {
     if burst_direct {
         for seq in 0..n {
             st.stats.heap_events += 1;
-            if st.dispatch_header(topology::narrow::u32_idx(seq), 0, 0) {
+            if st.dispatch_header(topology::narrow::u32_idx(seq), 0, 0, faults) {
                 delivered += 1;
             }
         }
@@ -473,7 +553,7 @@ fn run_event_loop(st: &mut SimScratch, n_channels: usize) {
         st.stats.heap_events += 1;
         match EventKind::from_order_key(key) {
             EventKind::Header { seq, hop } => {
-                if st.dispatch_header(seq, hop, time) {
+                if st.dispatch_header(seq, hop, time, faults) {
                     delivered += 1;
                 }
             }
@@ -524,13 +604,30 @@ pub fn simulate_with_scratch(
     rt: &RouteTable,
     scratch: &mut SimScratch,
 ) -> SimReport {
+    simulate_faulty_with_scratch(topo, hw, flows, cfg, rt, &LinkFaults::none(), scratch)
+}
+
+/// [`simulate_with_scratch`] under transient channel fault windows: a
+/// header arriving at a blacked-out channel stalls (one rescheduled
+/// event) until the window ends, and the report carries the stall total
+/// in [`SimReport::total_fault_wait_cycles`]. With an empty
+/// [`LinkFaults`] the run is bit-identical to the healthy simulator.
+pub fn simulate_faulty_with_scratch(
+    topo: &Topology,
+    hw: &HwParams,
+    flows: &[Flow],
+    cfg: &SimConfig,
+    rt: &RouteTable,
+    faults: &LinkFaults,
+    scratch: &mut SimScratch,
+) -> SimReport {
     assert!(cfg.packet_bytes > 0, "packet size must be positive");
     let (energy_pj, flit_hops) = {
         let SimScratch { arena, path, .. } = scratch;
         build_packets_into(topo, hw, flows, cfg, rt, arena, path)
     };
     let n_channels = 2 * topo.link_count() + topo.node_count();
-    run_event_loop(scratch, n_channels);
+    run_event_loop(scratch, n_channels, faults);
 
     scratch.latencies.clear();
     scratch
@@ -560,6 +657,8 @@ pub fn simulate_with_scratch(
         max_hop_header_latency_cycles: stats.hop_latency_max,
         total_channel_wait_cycles: stats.wait_total,
         heap_events: stats.heap_events,
+        total_fault_wait_cycles: stats.fault_wait_total,
+        faulted_traversals: stats.faulted_traversals,
     }
 }
 
@@ -614,7 +713,7 @@ mod tests {
     fn run_arena(arena: PacketArena, n_channels: usize) -> SimScratch {
         let mut st = SimScratch::new();
         st.arena = arena;
-        run_event_loop(&mut st, n_channels);
+        run_event_loop(&mut st, n_channels, &LinkFaults::none());
         st
     }
 
@@ -981,6 +1080,93 @@ mod tests {
         // Both loops agree on the aggregate timeline under this funnel
         // pattern's unambiguous FIFO order.
         assert!(st.stats.heap_events > 0);
+    }
+
+    #[test]
+    fn empty_fault_set_is_bit_identical_to_healthy_run() {
+        let topo = mesh5();
+        let hw = HwParams::default();
+        let cfg = SimConfig::default();
+        let rt = RouteTable::build(&topo, &hw);
+        let flows = contention_burst();
+        let healthy = simulate_with_table(&topo, &hw, &flows, &cfg, &rt);
+        let faulty = simulate_faulty_with_scratch(
+            &topo,
+            &hw,
+            &flows,
+            &cfg,
+            &rt,
+            &LinkFaults::none(),
+            &mut SimScratch::new(),
+        );
+        assert_eq!(healthy, faulty);
+        assert_eq!(faulty.total_fault_wait_cycles, 0);
+        assert_eq!(faulty.faulted_traversals, 0);
+    }
+
+    #[test]
+    fn faulted_channel_defers_headers_and_counts_the_stall() {
+        let topo = mesh5();
+        let hw = HwParams::default();
+        let cfg = SimConfig::default();
+        let rt = RouteTable::build(&topo, &hw);
+        let src = topo.node_at(Coord::new2(0, 0)).unwrap();
+        let dst = topo.node_at(Coord::new2(2, 0)).unwrap();
+        let flows = [Flow::new(src, dst, 64)];
+        let healthy = simulate_with_table(&topo, &hw, &flows, &cfg, &rt);
+
+        // Black out every link for a long window starting at cycle 0:
+        // the packet's first link hop must stall until the window ends.
+        let windows: Vec<(LinkId, u64, u64)> = (0..topo.link_count())
+            .map(|l| (LinkId(topology::narrow::u32_idx(l)), 0, 1_000))
+            .collect();
+        let faults = LinkFaults::from_link_windows(&topo, &windows);
+        assert!(!faults.is_empty());
+        let faulty = simulate_faulty_with_scratch(
+            &topo,
+            &hw,
+            &flows,
+            &cfg,
+            &rt,
+            &faults,
+            &mut SimScratch::new(),
+        );
+        assert!(faulty.faulted_traversals > 0);
+        assert!(faulty.total_fault_wait_cycles > 0);
+        assert!(
+            faulty.makespan_cycles > healthy.makespan_cycles,
+            "blackout {} must delay the healthy makespan {}",
+            faulty.makespan_cycles,
+            healthy.makespan_cycles
+        );
+        // The NI channel is never faulted, so the stall starts when the
+        // header reaches the first *link* channel and ends at cycle 1000.
+        assert_eq!(
+            faulty.makespan_cycles,
+            1_000 + healthy.makespan_cycles - u64::from(hw.router_pipeline_cycles)
+        );
+    }
+
+    #[test]
+    fn fault_window_merging_and_lookup() {
+        let topo = mesh5();
+        let faults = LinkFaults::from_link_windows(
+            &topo,
+            &[
+                (LinkId(0), 10, 20),
+                (LinkId(0), 15, 30), // overlaps -> merges to [10, 30)
+                (LinkId(0), 40, 40), // degenerate -> dropped
+                (LinkId(1), 5, 8),
+            ],
+        );
+        assert_eq!(faults.blocked_until(0, 9), None);
+        assert_eq!(faults.blocked_until(0, 10), Some(30));
+        assert_eq!(faults.blocked_until(0, 29), Some(30));
+        assert_eq!(faults.blocked_until(0, 30), None);
+        assert_eq!(faults.blocked_until(0, 40), None);
+        // The reverse directed channel of LinkId(1) shares the window.
+        let rev = 1 + topo.link_count();
+        assert_eq!(faults.blocked_until(rev, 6), Some(8));
     }
 
     #[test]

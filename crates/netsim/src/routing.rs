@@ -28,6 +28,34 @@ impl RouteTable {
         RouteTable { next }
     }
 
+    /// Builds a detour table that never routes over `dead` links: the
+    /// same per-destination Dijkstra with the dead links priced at
+    /// infinity, so surviving traffic re-routes around a fault region.
+    /// Pairs that only connect through dead links end up unroutable
+    /// ([`RouteTable::next_link`] returns `None` along the way); callers
+    /// must drop flows touching disconnected nodes.
+    pub fn build_excluding(topo: &Topology, hw: &HwParams, dead: &[LinkId]) -> RouteTable {
+        let cost = |l: &Link| {
+            if dead.contains(&l.id) {
+                f64::INFINITY
+            } else {
+                hw.hop_cycles(l.length_hops) as f64
+            }
+        };
+        let n = topo.node_count();
+        let mut next = vec![vec![None; n]; n];
+        for (dst, next_row) in next.iter_mut().enumerate() {
+            let res = topo.dijkstra(NodeId(topology::narrow::u32_idx(dst)), cost);
+            for (v, entry) in res.iter().enumerate() {
+                // An infinite-cost entry means dst is unreachable from v
+                // without a dead link; leave the hop empty rather than
+                // recording a parent on the far side of the fault.
+                next_row[v] = if entry.0.is_finite() { entry.1 } else { None };
+            }
+        }
+        RouteTable { next }
+    }
+
     /// The link to take from `at` toward `dst`, or `None` when `at == dst`.
     pub fn next_link(&self, at: NodeId, dst: NodeId) -> Option<LinkId> {
         self.next[dst.index()][at.index()]
@@ -128,6 +156,61 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn detour_table_avoids_dead_links() {
+        let topo = mesh2d(5, 5).unwrap();
+        let hw = HwParams::default();
+        let full = RouteTable::build(&topo, &hw);
+        let src = topo.node_at(topology::Coord::new2(0, 0)).unwrap();
+        let dst = topo.node_at(topology::Coord::new2(4, 0)).unwrap();
+        // Kill every link on the direct path; the detour must route
+        // around them and never traverse a dead link.
+        let dead = full.path(&topo, src, dst);
+        let detour = RouteTable::build_excluding(&topo, &hw, &dead);
+        let path = detour.path(&topo, src, dst);
+        assert!(!path.is_empty());
+        for lid in &path {
+            assert!(!dead.contains(lid), "detour used dead link {lid:?}");
+        }
+        assert!(
+            path.len() >= full.hops(&topo, src, dst),
+            "a detour can never be shorter than the direct route"
+        );
+        // With no dead links the detour builder reproduces the full table.
+        let rebuilt = RouteTable::build_excluding(&topo, &hw, &[]);
+        for s in 0..topo.node_count() {
+            for d in 0..topo.node_count() {
+                let (s, d) = (
+                    NodeId(topology::narrow::u32_idx(s)),
+                    NodeId(topology::narrow::u32_idx(d)),
+                );
+                assert_eq!(full.hops(&topo, s, d), rebuilt.hops(&topo, s, d));
+            }
+        }
+    }
+
+    #[test]
+    fn fully_cut_node_is_unroutable_not_looping() {
+        let topo = mesh2d(3, 3).unwrap();
+        let hw = HwParams::default();
+        let corner = topo.node_at(topology::Coord::new2(0, 0)).unwrap();
+        // Cut every link touching the corner node.
+        let dead: Vec<LinkId> = topo
+            .links()
+            .iter()
+            .filter(|l| l.a == corner || l.b == corner)
+            .map(|l| l.id)
+            .collect();
+        assert_eq!(dead.len(), 2);
+        let detour = RouteTable::build_excluding(&topo, &hw, &dead);
+        let far = topo.node_at(topology::Coord::new2(2, 2)).unwrap();
+        assert_eq!(detour.next_link(corner, far), None);
+        assert_eq!(detour.next_link(far, corner), None);
+        // Surviving pairs still route.
+        let mid = topo.node_at(topology::Coord::new2(1, 1)).unwrap();
+        assert!(detour.next_link(mid, far).is_some());
     }
 
     #[test]

@@ -191,6 +191,8 @@ fn reference_simulate(
         max_hop_header_latency_cycles: hop_latency_max,
         total_channel_wait_cycles: wait_total,
         heap_events,
+        total_fault_wait_cycles: 0,
+        faulted_traversals: 0,
     }
 }
 
